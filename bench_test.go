@@ -1,0 +1,551 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus ablation benches for the design choices
+// called out in DESIGN.md §5. Each figure bench regenerates its series and
+// reports the headline numbers as benchmark metrics; run with
+//
+//	go test -bench=. -benchmem
+//
+// and the series themselves with -v (they are logged once per benchmark).
+package greenindex_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/iozone"
+	"repro/internal/paper"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/suite"
+)
+
+// sharedDataset caches the full reproduction run across benchmarks; each
+// bench still re-derives its own figure from it every iteration.
+var (
+	dsOnce sync.Once
+	dsVal  *paper.Dataset
+	dsErr  error
+)
+
+func dataset(b *testing.B) *paper.Dataset {
+	b.Helper()
+	dsOnce.Do(func() { dsVal, dsErr = paper.NewDataset() })
+	if dsErr != nil {
+		b.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+func logSeries(b *testing.B, name string, procs []int, ys []float64) {
+	var sb strings.Builder
+	for i, p := range procs {
+		fmt.Fprintf(&sb, " (%d, %.4g)", p, ys[i])
+	}
+	b.Logf("%s:%s", name, sb.String())
+}
+
+// BenchmarkFig2HPLEfficiency regenerates Figure 2: energy efficiency of HPL
+// (MFLOPS/W) versus MPI process count on the Fire cluster.
+func BenchmarkFig2HPLEfficiency(b *testing.B) {
+	d := dataset(b)
+	var first, last float64
+	for i := 0; i < b.N; i++ {
+		ee := d.EE[suite.BenchHPL]
+		first, last = ee[0]*1000, ee[len(ee)-1]*1000
+	}
+	logSeries(b, "Fig2 MFLOPS/W", d.Procs, d.EE[suite.BenchHPL])
+	b.ReportMetric(first, "MFLOPSperW@p8")
+	b.ReportMetric(last, "MFLOPSperW@p128")
+}
+
+// BenchmarkFig3StreamEfficiency regenerates Figure 3: STREAM efficiency
+// (MB/s per W) versus MPI process count.
+func BenchmarkFig3StreamEfficiency(b *testing.B) {
+	d := dataset(b)
+	var peak float64
+	var peakAt int
+	for i := 0; i < b.N; i++ {
+		ee := d.EE[suite.BenchSTREAM]
+		peak, peakAt = 0, 0
+		for j, v := range ee {
+			if v > peak {
+				peak, peakAt = v, d.Procs[j]
+			}
+		}
+	}
+	logSeries(b, "Fig3 MBPS/W", d.Procs, d.EE[suite.BenchSTREAM])
+	b.ReportMetric(peak, "peak-MBPSperW")
+	b.ReportMetric(float64(peakAt), "peak-at-procs")
+}
+
+// BenchmarkFig4IOzoneEfficiency regenerates Figure 4: IOzone write
+// efficiency versus node count (the standalone node sweep).
+func BenchmarkFig4IOzoneEfficiency(b *testing.B) {
+	var pts []paper.Fig4Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, _, err = paper.Fig4(cluster.Fire())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	peak := 0
+	for i, p := range pts {
+		fmt.Fprintf(&sb, " (%d, %.4f)", p.Nodes, p.EEMBpsW)
+		if p.EEMBpsW > pts[peak].EEMBpsW {
+			peak = i
+		}
+	}
+	b.Logf("Fig4 MBPS/W by nodes:%s", sb.String())
+	b.ReportMetric(pts[peak].EEMBpsW, "peak-MBPSperW")
+	b.ReportMetric(float64(pts[peak].Nodes), "peak-at-nodes")
+	b.ReportMetric(float64(pts[len(pts)-1].Rate)/1e6, "saturated-MBps")
+}
+
+// BenchmarkFig5TGIArithmetic regenerates Figure 5: TGI under arithmetic-
+// mean weights versus core count.
+func BenchmarkFig5TGIArithmetic(b *testing.B) {
+	d := dataset(b)
+	var tgiMax, tgiEnd float64
+	for i := 0; i < b.N; i++ {
+		tgi := d.TGI[core.ArithmeticMean]
+		tgiMax = 0
+		for _, v := range tgi {
+			tgiMax = math.Max(tgiMax, v)
+		}
+		tgiEnd = tgi[len(tgi)-1]
+	}
+	logSeries(b, "Fig5 TGI(AM)", d.Procs, d.TGI[core.ArithmeticMean])
+	b.ReportMetric(tgiMax, "TGI-peak")
+	b.ReportMetric(tgiEnd, "TGI@p128")
+}
+
+// BenchmarkFig6TGIWeighted regenerates Figure 6: TGI under time, energy and
+// power weights.
+func BenchmarkFig6TGIWeighted(b *testing.B) {
+	d := dataset(b)
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		last := len(d.Procs) - 1
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range []core.Scheme{core.TimeWeighted, core.EnergyWeighted, core.PowerWeighted} {
+			v := d.TGI[s][last]
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		spread = hi - lo
+	}
+	for _, s := range []core.Scheme{core.TimeWeighted, core.EnergyWeighted, core.PowerWeighted} {
+		logSeries(b, fmt.Sprintf("Fig6 TGI(%v)", s), d.Procs, d.TGI[s])
+	}
+	b.ReportMetric(spread, "scheme-spread@p128")
+}
+
+// BenchmarkTable1SystemG regenerates Table I: per-benchmark performance and
+// power on the reference system.
+func BenchmarkTable1SystemG(b *testing.B) {
+	d := dataset(b)
+	var hplTF, hplKW float64
+	for i := 0; i < b.N; i++ {
+		for _, m := range d.Reference.Measurements() {
+			if m.Benchmark == suite.BenchHPL {
+				hplTF = m.Performance / 1000
+				hplKW = float64(m.Power) / 1000
+			}
+		}
+	}
+	for _, m := range d.Reference.Measurements() {
+		b.Logf("Table I: %-7s perf=%.5g %s power=%s", m.Benchmark, m.Performance, m.Metric, m.Power)
+	}
+	b.ReportMetric(hplTF, "HPL-TFLOPS")
+	b.ReportMetric(hplKW, "HPL-KW")
+}
+
+// BenchmarkTable2PCC regenerates Table II: Pearson correlation between each
+// benchmark's efficiency curve and TGI under each weighting scheme.
+func BenchmarkTable2PCC(b *testing.B) {
+	d := dataset(b)
+	var rIO, rST, rHPL float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		if rIO, err = d.PCC(suite.BenchIOzone, core.ArithmeticMean); err != nil {
+			b.Fatal(err)
+		}
+		if rST, err = d.PCC(suite.BenchSTREAM, core.ArithmeticMean); err != nil {
+			b.Fatal(err)
+		}
+		if rHPL, err = d.PCC(suite.BenchHPL, core.ArithmeticMean); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, bench := range []string{suite.BenchIOzone, suite.BenchSTREAM, suite.BenchHPL} {
+		row := fmt.Sprintf("Table II %-7s:", bench)
+		for _, s := range paper.Schemes {
+			r, err := d.PCC(bench, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row += fmt.Sprintf(" %v=%.2f", s, r)
+		}
+		b.Log(row)
+	}
+	b.ReportMetric(rIO, "PCC-AM-IOzone")
+	b.ReportMetric(rST, "PCC-AM-STREAM")
+	b.ReportMetric(rHPL, "PCC-AM-HPL")
+}
+
+// BenchmarkAblationMeterScope contrasts whole-cluster metering (the paper's
+// Figure 1 setup, idle nodes included) with metering only the active nodes.
+// Whole-cluster metering is what makes efficiency curves rise with scale;
+// active-node metering flattens them (DESIGN.md §5.1).
+func BenchmarkAblationMeterScope(b *testing.B) {
+	var wholeSlope, activeSlope float64
+	for i := 0; i < b.N; i++ {
+		procsAxis := []float64{16, 48, 96, 128}
+		var whole, active []float64
+		for _, pf := range procsAxis {
+			p := int(pf)
+			// Whole cluster behind the meter.
+			r, err := suite.Run(suite.DefaultConfig(cluster.Fire(), p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := r.Measurements()[0] // HPL
+			whole = append(whole, m.Performance/float64(m.Power))
+			// Only the nodes the job touches behind the meter: model a
+			// cluster truncated to the active node count, block placement.
+			nodes := (p + 15) / 16
+			spec := cluster.Fire()
+			spec.Nodes = nodes
+			cfg := suite.DefaultConfig(spec, p)
+			cfg.Placement = cluster.Block
+			r, err = suite.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = r.Measurements()[0]
+			active = append(active, m.Performance/float64(m.Power))
+		}
+		var err error
+		wholeSlope, _, err = stats.LinearFit(procsAxis, whole)
+		if err != nil {
+			b.Fatal(err)
+		}
+		activeSlope, _, err = stats.LinearFit(procsAxis, active)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(wholeSlope*1000, "whole-slope-mEEperProc")
+	b.ReportMetric(activeSlope*1000, "active-slope-mEEperProc")
+	if wholeSlope <= activeSlope {
+		b.Errorf("whole-cluster metering slope %v not above active-only %v", wholeSlope, activeSlope)
+	}
+}
+
+// BenchmarkAblationPlacement contrasts block and cyclic placement for the
+// STREAM benchmark at low process counts (DESIGN.md §5.2).
+func BenchmarkAblationPlacement(b *testing.B) {
+	var cyc, blk float64
+	for i := 0; i < b.N; i++ {
+		c := stream.DefaultModelConfig(cluster.Fire(), 8)
+		rc, err := stream.Simulate(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Placement = cluster.Block
+		rb, err := stream.Simulate(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, blk = float64(rc.Aggregate)/1e9, float64(rb.Aggregate)/1e9
+	}
+	b.ReportMetric(cyc, "cyclic-GBps@p8")
+	b.ReportMetric(blk, "block-GBps@p8")
+}
+
+// BenchmarkAblationPSU measures how much the PSU efficiency curve shifts
+// measured energy (DESIGN.md §5.3).
+func BenchmarkAblationPSU(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		base, err := suite.Run(suite.DefaultConfig(cluster.Fire(), 64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := suite.DefaultConfig(cluster.Fire(), 64)
+		m, err := power.NewModel(cluster.Fire())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.DisablePSU = true
+		cfg.PowerModel = m
+		ideal, err := suite.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(base.Runs[0].Measurement.EnergyJoules()) /
+			float64(ideal.Runs[0].Measurement.EnergyJoules())
+	}
+	b.ReportMetric(ratio, "wall-to-DC-energy-ratio")
+	if ratio <= 1 {
+		b.Errorf("PSU losses missing: ratio %v", ratio)
+	}
+}
+
+// BenchmarkAblationSampling measures the energy error introduced by the
+// meter's sampling interval (DESIGN.md §5.4).
+func BenchmarkAblationSampling(b *testing.B) {
+	var errAt10s float64
+	for i := 0; i < b.N; i++ {
+		model, err := power.NewModel(cluster.Fire())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := stream.Simulate(stream.DefaultModelConfig(cluster.Fire(), 64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, err := model.ProfileTrace(res.Profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eExact, err := exact.Energy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coarse := power.MeterConfig{Interval: 10, QuantumWatts: 0.1, NoiseStdDev: 0.5, Seed: 1}
+		mt, err := power.NewMeter(coarse)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := mt.Measure(model, res.Profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eCoarse, err := tr.Energy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		errAt10s = math.Abs(float64(eCoarse-eExact)) / float64(eExact) * 100
+	}
+	b.ReportMetric(errAt10s, "energy-err-pct@10s")
+}
+
+// BenchmarkAblationEDP recomputes TGI with the energy-delay product as the
+// per-benchmark efficiency metric instead of performance-per-watt
+// (DESIGN.md §5.5; paper Section II notes TGI is metric-agnostic).
+func BenchmarkAblationEDP(b *testing.B) {
+	d := dataset(b)
+	refMs := d.Reference.Measurements()
+	var tgiPW, tgiEDP float64
+	for i := 0; i < b.N; i++ {
+		last := d.Results[len(d.Results)-1]
+		cPW, err := core.Compute(last.Measurements(), refMs, core.ArithmeticMean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cEDP, err := core.ComputeWith(core.InverseEDP, last.Measurements(), refMs, core.ArithmeticMean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgiPW, tgiEDP = cPW.TGI, cEDP.TGI
+	}
+	b.ReportMetric(tgiPW, "TGI-perf-per-watt@p128")
+	b.ReportMetric(tgiEDP, "TGI-inverse-EDP@p128")
+}
+
+// BenchmarkFullReproduction times one complete dataset build: the Fire
+// sweep plus the SystemG reference, metered end to end.
+func BenchmarkFullReproduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := paper.NewDataset()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range d.Verify() {
+			if !c.Passed {
+				b.Fatalf("%s: %s", c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+// BenchmarkIOzoneNodeSweepDES exercises the discrete-event shared-backend
+// path directly across the node axis.
+func BenchmarkIOzoneNodeSweepDES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 8; n++ {
+			if _, err := iozone.Simulate(iozone.DefaultModelConfig(cluster.Fire(), n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFacility contrasts IT-level metering with center-wide
+// metering (UPS + cooling + fixed overhead) — the paper's future-work
+// extension (DESIGN.md §5.6).
+func BenchmarkAblationFacility(b *testing.B) {
+	var itTGI, centerTGI float64
+	for i := 0; i < b.N; i++ {
+		ref, err := suite.Run(suite.DefaultConfig(cluster.SystemG(), 1024))
+		if err != nil {
+			b.Fatal(err)
+		}
+		it, err := suite.Run(suite.DefaultConfig(cluster.Fire(), 128))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := suite.DefaultConfig(cluster.Fire(), 128)
+		fac := power.TypicalDatacenter()
+		cfg.Facility = &fac
+		center, err := suite.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cIT, err := core.Compute(it.Measurements(), ref.Measurements(), core.ArithmeticMean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cC, err := core.Compute(center.Measurements(), ref.Measurements(), core.ArithmeticMean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		itTGI, centerTGI = cIT.TGI, cC.TGI
+	}
+	b.ReportMetric(itTGI, "TGI-IT-boundary")
+	b.ReportMetric(centerTGI, "TGI-center-wide")
+}
+
+// BenchmarkExtendedSuite runs the seven-benchmark HPCC-style suite and
+// reports its TGI next to the paper's three-benchmark value (DESIGN.md
+// §5.7).
+func BenchmarkExtendedSuite(b *testing.B) {
+	var tgi3, tgi7 float64
+	for i := 0; i < b.N; i++ {
+		ref3, err := suite.Run(suite.DefaultConfig(cluster.SystemG(), 1024))
+		if err != nil {
+			b.Fatal(err)
+		}
+		test3, err := suite.Run(suite.DefaultConfig(cluster.Fire(), 128))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref7, err := suite.RunExtendedOn(cluster.SystemG(), 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		test7, err := suite.RunExtendedOn(cluster.Fire(), 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c3, err := core.Compute(test3.Measurements(), ref3.Measurements(), core.ArithmeticMean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c7, err := core.Compute(test7.Measurements(), ref7.Measurements(), core.ArithmeticMean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgi3, tgi7 = c3.TGI, c7.TGI
+	}
+	b.ReportMetric(tgi3, "TGI-3-benchmarks")
+	b.ReportMetric(tgi7, "TGI-7-benchmarks")
+}
+
+// BenchmarkAblationNoise reruns the reproduction under independent meter-
+// noise seeds and reports the spread of the headline correlation — the
+// robustness of Table II to gauge noise.
+func BenchmarkAblationNoise(b *testing.B) {
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, seed := range []uint64{11, 22, 33} {
+			d, err := paper.NewDatasetSeeded(cluster.Fire(), cluster.SystemG(), suite.FireSweep(), seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := d.PCC(suite.BenchIOzone, core.ArithmeticMean)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, hi = math.Min(lo, r), math.Max(hi, r)
+		}
+	}
+	b.ReportMetric(hi-lo, "PCC-IOzone-spread")
+	b.ReportMetric(lo, "PCC-IOzone-min")
+}
+
+// BenchmarkAblationAggregator compares the arithmetic (paper), harmonic
+// and geometric folds of the same REEs — the related-work question the
+// paper cites from John (2004).
+func BenchmarkAblationAggregator(b *testing.B) {
+	ref, err := suite.Run(suite.DefaultConfig(cluster.SystemG(), 1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	test, err := suite.Run(suite.DefaultConfig(cluster.Fire(), 128))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var am, hm, gm float64
+	for i := 0; i < b.N; i++ {
+		for _, agg := range []struct {
+			a   core.Aggregator
+			dst *float64
+		}{{core.Arithmetic, &am}, {core.Harmonic, &hm}, {core.Geometric, &gm}} {
+			c, err := core.ComputeAggregated(agg.a, test.Measurements(), ref.Measurements(),
+				core.ArithmeticMean, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			*agg.dst = c.TGI
+		}
+	}
+	b.ReportMetric(am, "TGI-arithmetic")
+	b.ReportMetric(hm, "TGI-harmonic")
+	b.ReportMetric(gm, "TGI-geometric")
+}
+
+// BenchmarkAblationDVFS sweeps the CPU frequency ladder and reports the
+// HPL energy per solve and TGI at each step — the power-aware-computing
+// question (the paper's reference [11], Hsu & Feng) asked through TGI.
+func BenchmarkAblationDVFS(b *testing.B) {
+	ref, err := suite.Run(suite.DefaultConfig(cluster.SystemG(), 1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	factors := []float64{0.6, 0.8, 1.0}
+	tgis := make([]float64, len(factors))
+	energies := make([]float64, len(factors))
+	for i := 0; i < b.N; i++ {
+		for j, f := range factors {
+			spec, err := cluster.WithFrequency(cluster.Fire(), f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := suite.Run(suite.DefaultConfig(spec, 128))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := core.Compute(r.Measurements(), ref.Measurements(), core.ArithmeticMean, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tgis[j] = c.TGI
+			energies[j] = float64(r.Measurements()[0].EnergyJoules()) / 1e6
+		}
+	}
+	for j, f := range factors {
+		b.Logf("f=%.1f: TGI=%.3f HPL energy=%.1f MJ", f, tgis[j], energies[j])
+	}
+	b.ReportMetric(tgis[0], "TGI@60pct")
+	b.ReportMetric(tgis[len(tgis)-1], "TGI@100pct")
+}

@@ -1,0 +1,130 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section from the simulated clusters and prints them, together
+// with the shape checks that define a successful reproduction.
+//
+// Usage:
+//
+//	figures            # everything: Figures 2-6, Tables I-II, checks
+//	figures -fig 5     # one figure (2, 3, 4, 5 or 6)
+//	figures -table 2   # one table (1 or 2)
+//	figures -checks    # only the verification checklist
+//	figures -csv       # emit tables as CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/paper"
+	"repro/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render one figure (1-6)")
+	table := flag.Int("table", 0, "render one table (1-2)")
+	checks := flag.Bool("checks", false, "only run the reproduction checks")
+	csv := flag.Bool("csv", false, "emit tables as CSV")
+	flag.Parse()
+
+	if err := run(*fig, *table, *checks, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, table int, checksOnly, csv bool) error {
+	fmt.Fprintln(os.Stderr, "running the Fire sweep and the SystemG reference (simulated)...")
+	d, err := paper.NewDataset()
+	if err != nil {
+		return err
+	}
+	all := fig == 0 && table == 0 && !checksOnly
+
+	renderTable := func(t *report.Table) error {
+		if csv {
+			return t.CSV(os.Stdout)
+		}
+		err := t.Render(os.Stdout)
+		fmt.Println()
+		return err
+	}
+
+	if all || fig == 1 {
+		fmt.Println(paper.Fig1(cluster.Fire()))
+	}
+	if all || fig == 2 {
+		if err := d.Fig2().Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || fig == 3 {
+		if err := d.Fig3().Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || fig == 4 {
+		pts, chart, err := paper.Fig4(cluster.Fire())
+		if err != nil {
+			return err
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			return err
+		}
+		t := &report.Table{Headers: []string{"Nodes", "Throughput", "Power", "MBPS/Watt"}}
+		for _, p := range pts {
+			t.AddRow(fmt.Sprintf("%d", p.Nodes), p.Rate.String(), p.Power.String(),
+				fmt.Sprintf("%.4f", p.EEMBpsW))
+		}
+		if err := renderTable(t); err != nil {
+			return err
+		}
+	}
+	if all || fig == 5 {
+		if err := d.Fig5().Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || fig == 6 {
+		if err := d.Fig6().Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || table == 1 {
+		if err := renderTable(d.Table1()); err != nil {
+			return err
+		}
+	}
+	if all || table == 2 {
+		t2, err := d.Table2()
+		if err != nil {
+			return err
+		}
+		if err := renderTable(t2); err != nil {
+			return err
+		}
+		fmt.Println("(paper prose: PCC of TGI_AM with IOzone/STREAM/HPL = .99/.96/.58)")
+		fmt.Println()
+	}
+	if all || checksOnly {
+		fmt.Println("Reproduction checks:")
+		failed := 0
+		for _, c := range d.Verify() {
+			status := "PASS"
+			if !c.Passed {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("  [%s] %-40s %s\n", status, c.Name, c.Detail)
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d reproduction check(s) failed", failed)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// The checks path runs the entire reproduction pipeline and fails if any
+// shape assertion regresses — the same gate cmd/figures -checks gives users.
+func TestChecksPass(t *testing.T) {
+	if err := run(0, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSelections(t *testing.T) {
+	for fig := 1; fig <= 6; fig++ {
+		if err := run(fig, 0, false, false); err != nil {
+			t.Errorf("fig %d: %v", fig, err)
+		}
+	}
+	for table := 1; table <= 2; table++ {
+		if err := run(0, table, false, true); err != nil {
+			t.Errorf("table %d (csv): %v", table, err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command greenbench runs the simulated TGI benchmark suite (HPL, STREAM,
+// IOzone behind a wall-plug meter) on one of the built-in cluster models
+// and writes the measurements as JSON — the input format of cmd/tgi.
+//
+// Usage:
+//
+//	greenbench -system fire -procs 128 -o fire.json
+//	greenbench -system systemg -procs 1024 -o ref.json
+//	greenbench -system fire -sweep -o sweep.json      # the paper's axis
+//	greenbench -spec mycluster.json -o mine.json      # user-defined machine
+//	greenbench -native -watts 120 -o host.json        # real run on this host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/native"
+	"repro/internal/suite"
+	"repro/internal/units"
+)
+
+func specByName(name string) (*cluster.Spec, error) {
+	switch strings.ToLower(name) {
+	case "fire":
+		return cluster.Fire(), nil
+	case "systemg":
+		return cluster.SystemG(), nil
+	case "greengpu", "gpu":
+		return cluster.GreenGPU(), nil
+	case "sicortex":
+		return cluster.SiCortex(), nil
+	case "testbed":
+		return cluster.Testbed(), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q (want fire, systemg, greengpu, sicortex or testbed)", name)
+	}
+}
+
+func main() {
+	system := flag.String("system", "fire", "cluster model: fire, systemg, greengpu, testbed")
+	specPath := flag.String("spec", "", "JSON machine-spec file (overrides -system)")
+	nativeRun := flag.Bool("native", false, "run the real benchmark suite on this host")
+	watts := flag.Float64("watts", 0, "host wall power for -native (from your meter)")
+	procs := flag.Int("procs", 0, "MPI process count (default: all cores)")
+	sweep := flag.Bool("sweep", false, "run the paper's process sweep instead of one point")
+	extended := flag.Bool("extended", false, "run the seven-benchmark extended suite")
+	out := flag.String("o", "", "output JSON path (default: stdout summary only)")
+	placement := flag.String("placement", "cyclic", "process placement: cyclic or block")
+	flag.Parse()
+
+	if err := run(options{
+		system: *system, specPath: *specPath, native: *nativeRun, watts: *watts,
+		procs: *procs, sweep: *sweep, extended: *extended, out: *out, placement: *placement,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "greenbench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	system    string
+	specPath  string
+	native    bool
+	watts     float64
+	procs     int
+	sweep     bool
+	extended  bool
+	out       string
+	placement string
+}
+
+func run(o options) error {
+	system, procs, sweep, extended, out, placement :=
+		o.system, o.procs, o.sweep, o.extended, o.out, o.placement
+	if o.native {
+		return runNative(o)
+	}
+	var spec *cluster.Spec
+	var err error
+	if o.specPath != "" {
+		if spec, err = cluster.LoadSpec(o.specPath); err != nil {
+			return err
+		}
+	} else if spec, err = specByName(system); err != nil {
+		return err
+	}
+	var pl cluster.Placement
+	switch strings.ToLower(placement) {
+	case "cyclic":
+		pl = cluster.Cyclic
+	case "block":
+		pl = cluster.Block
+	default:
+		return fmt.Errorf("unknown placement %q", placement)
+	}
+
+	execute := suite.Run
+	if extended {
+		execute = suite.RunExtended
+	}
+	var results []*suite.Result
+	if sweep {
+		axis := suite.FireSweep()
+		if spec.TotalCores() != 128 {
+			// Scale the canonical axis to this machine's core count.
+			axis = nil
+			for i := 1; i <= 8; i++ {
+				axis = append(axis, spec.TotalCores()*i/8)
+			}
+		}
+		for _, p := range axis {
+			cfg := suite.DefaultConfig(spec, p)
+			cfg.Placement = pl
+			r, err := execute(cfg)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	} else {
+		if procs == 0 {
+			procs = spec.TotalCores()
+		}
+		cfg := suite.DefaultConfig(spec, procs)
+		cfg.Placement = pl
+		r, err := execute(cfg)
+		if err != nil {
+			return err
+		}
+		results = []*suite.Result{r}
+	}
+
+	for _, r := range results {
+		fmt.Printf("%s procs=%d placement=%s\n", r.System, r.Procs, r.Placement)
+		for _, b := range r.Runs {
+			m := b.Measurement
+			fmt.Printf("  %-7s perf=%.5g %s  power=%s  time=%s  energy=%s\n",
+				m.Benchmark, m.Performance, m.Metric, m.Power, m.Time, m.EnergyJoules())
+		}
+	}
+	if out != "" {
+		if err := suite.SaveJSON(out, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d run(s))\n", out, len(results))
+	}
+	return nil
+}
+
+// runNative executes the real suite on the host and writes it in the same
+// JSON format, so cmd/tgi can consume host runs and simulated runs alike.
+func runNative(o options) error {
+	res, err := native.Run(native.Config{Power: units.Watts(o.watts), Procs: o.procs})
+	if err != nil {
+		return err
+	}
+	r := &suite.Result{System: "host", Procs: o.procs, Placement: "native"}
+	for _, m := range res.Measurements {
+		fmt.Printf("  %-13s perf=%.5g %s  time=%s  (%s)\n",
+			m.Benchmark, m.Performance, m.Metric, m.Time, res.Details[m.Benchmark])
+		r.Runs = append(r.Runs, suite.BenchmarkRun{Measurement: m})
+	}
+	if o.out != "" {
+		if err := suite.SaveJSON(o.out, []*suite.Result{r}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.out)
+	}
+	return nil
+}

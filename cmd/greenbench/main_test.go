@@ -1,0 +1,129 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/suite"
+)
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"fire", "Fire", "systemg", "greengpu", "gpu", "sicortex", "testbed"} {
+		spec, err := specByName(name)
+		if err != nil || spec == nil {
+			t.Errorf("specByName(%q) = %v, %v", name, spec, err)
+		}
+	}
+	if _, err := specByName("cray"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestRunOnePoint(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "one.json")
+	if err := run(options{system: "testbed", procs: 4, out: out, placement: "cyclic"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Procs != 4 || len(rs[0].Runs) != 3 {
+		t.Errorf("results = %+v", rs)
+	}
+}
+
+func TestRunExtendedFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ext.json")
+	if err := run(options{system: "testbed", procs: 8, extended: true, out: out, placement: "block"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs[0].Runs) != 7 {
+		t.Errorf("extended run has %d benchmarks", len(rs[0].Runs))
+	}
+	if rs[0].Placement != "block" {
+		t.Errorf("placement = %s", rs[0].Placement)
+	}
+}
+
+func TestRunSweepScalesAxis(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	if err := run(options{system: "testbed", sweep: true, out: out, placement: "cyclic"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("sweep points = %d", len(rs))
+	}
+	if rs[len(rs)-1].Procs != 8 { // testbed has 8 cores
+		t.Errorf("last point procs = %d", rs[len(rs)-1].Procs)
+	}
+}
+
+func TestRunDefaultsToAllCores(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "def.json")
+	if err := run(options{system: "testbed", out: out, placement: "cyclic"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Procs != 8 {
+		t.Errorf("default procs = %d, want 8", rs[0].Procs)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(options{system: "nope", procs: 1, placement: "cyclic"}); err == nil {
+		t.Error("bad system accepted")
+	}
+	if err := run(options{system: "testbed", procs: 1, placement: "diagonal"}); err == nil {
+		t.Error("bad placement accepted")
+	}
+}
+
+func TestRunWithSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := cluster.SaveSpec(specPath, cluster.Testbed()); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := run(options{specPath: specPath, procs: 4, out: out, placement: "cyclic"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].System != "Testbed" {
+		t.Errorf("system = %s", rs[0].System)
+	}
+}
+
+func TestRunNativeMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "host.json")
+	if err := run(options{native: true, watts: 100, procs: 2, out: out}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].System != "host" || len(rs[0].Runs) != 8 {
+		t.Errorf("native result = %+v", rs[0])
+	}
+	// Without watts it must refuse.
+	if err := run(options{native: true}); err == nil {
+		t.Error("native run without watts accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command powersim streams the simulated wall-plug meter's samples for one
+// benchmark run as CSV (seconds, watts) — the raw signal the rest of the
+// pipeline integrates, in the same form a Watts Up? PRO logger would emit.
+//
+// Usage:
+//
+//	powersim -system fire -procs 128 -bench hpl
+//	powersim -system fire -procs 64 -bench stream -interval 1 > trace.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/hpl"
+	"repro/internal/iozone"
+	"repro/internal/power"
+	"repro/internal/stream"
+	"repro/internal/units"
+)
+
+func main() {
+	system := flag.String("system", "fire", "cluster model: fire, systemg, greengpu, testbed")
+	procs := flag.Int("procs", 0, "MPI process count (default: all cores)")
+	bench := flag.String("bench", "hpl", "benchmark: hpl, stream, iozone")
+	interval := flag.Float64("interval", 1, "meter sampling interval, seconds")
+	seed := flag.Uint64("seed", 42, "meter noise seed")
+	flag.Parse()
+
+	if err := run(*system, *procs, *bench, *interval, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "powersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system string, procs int, bench string, interval float64, seed uint64, out io.Writer) error {
+	var spec *cluster.Spec
+	switch strings.ToLower(system) {
+	case "fire":
+		spec = cluster.Fire()
+	case "systemg":
+		spec = cluster.SystemG()
+	case "greengpu", "gpu":
+		spec = cluster.GreenGPU()
+	case "testbed":
+		spec = cluster.Testbed()
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+	if procs == 0 {
+		procs = spec.TotalCores()
+	}
+
+	var profile *cluster.LoadProfile
+	switch strings.ToLower(bench) {
+	case "hpl":
+		res, err := hpl.Simulate(hpl.DefaultModelConfig(spec, procs))
+		if err != nil {
+			return err
+		}
+		profile = res.Profile
+	case "stream":
+		res, err := stream.Simulate(stream.DefaultModelConfig(spec, procs))
+		if err != nil {
+			return err
+		}
+		profile = res.Profile
+	case "iozone":
+		nodes := (procs + spec.Node.Cores() - 1) / spec.Node.Cores()
+		if nodes > spec.Nodes {
+			nodes = spec.Nodes
+		}
+		res, err := iozone.Simulate(iozone.DefaultModelConfig(spec, nodes))
+		if err != nil {
+			return err
+		}
+		profile = res.Profile
+	default:
+		return fmt.Errorf("unknown benchmark %q (want hpl, stream or iozone)", bench)
+	}
+
+	model, err := power.NewModel(spec)
+	if err != nil {
+		return err
+	}
+	cfg := power.WattsUpPRO(seed)
+	cfg.Interval = units.Seconds(interval)
+	meter, err := power.NewMeter(cfg)
+	if err != nil {
+		return err
+	}
+	trace, err := meter.Measure(model, profile)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintln(w, "seconds,watts")
+	for _, s := range trace.Samples() {
+		fmt.Fprintf(w, "%.3f,%.1f\n", float64(s.At), float64(s.Power))
+	}
+	energy, err := trace.Energy()
+	if err != nil {
+		return err
+	}
+	mean, _ := trace.MeanPower()
+	fmt.Fprintf(os.Stderr, "%s on %s (%d procs): %d samples, mean %s, energy %s\n",
+		strings.ToUpper(bench), spec.Name, procs, trace.Len(), mean, energy)
+	return nil
+}

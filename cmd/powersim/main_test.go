@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllBenchmarks(t *testing.T) {
+	for _, bench := range []string{"hpl", "stream", "iozone"} {
+		var sb strings.Builder
+		if err := run("testbed", 4, bench, 1, 1, &sb); err != nil {
+			t.Errorf("%s: %v", bench, err)
+			continue
+		}
+		out := sb.String()
+		if !strings.HasPrefix(out, "seconds,watts\n") {
+			t.Errorf("%s: missing CSV header", bench)
+		}
+		lines := strings.Count(out, "\n")
+		if lines < 3 {
+			t.Errorf("%s: only %d lines", bench, lines)
+		}
+	}
+}
+
+func TestRunDefaultsProcs(t *testing.T) {
+	var sb strings.Builder
+	if err := run("testbed", 0, "stream", 1, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run("nope", 1, "hpl", 1, 1, &sb); err == nil {
+		t.Error("bad system accepted")
+	}
+	if err := run("testbed", 1, "linpack2", 1, 1, &sb); err == nil {
+		t.Error("bad benchmark accepted")
+	}
+	if err := run("testbed", 1, "hpl", 0, 1, &sb); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestIntervalControlsSampleCount(t *testing.T) {
+	var fine, coarse strings.Builder
+	if err := run("testbed", 4, "iozone", 1, 1, &fine); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("testbed", 4, "iozone", 60, 1, &coarse); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(fine.String(), "\n") <= strings.Count(coarse.String(), "\n") {
+		t.Error("finer interval did not produce more samples")
+	}
+}

@@ -1,0 +1,137 @@
+// Command tgi computes The Green Index from suite-result JSON files (as
+// written by cmd/greenbench).
+//
+// Usage:
+//
+//	tgi -results fire.json -ref ref.json
+//	tgi -results fire.json -ref ref.json -scheme energy
+//	tgi -results fire.json -ref ref.json -scheme custom -weights 0.5,0.3,0.2
+//	tgi -results fire.json -ref ref.json -mean harmonic
+//
+// When the results file holds a sweep, one TGI line is printed per point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+func schemeByName(name string) (core.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "am", "arithmetic", "arithmetic-mean":
+		return core.ArithmeticMean, nil
+	case "time":
+		return core.TimeWeighted, nil
+	case "energy":
+		return core.EnergyWeighted, nil
+	case "power":
+		return core.PowerWeighted, nil
+	case "custom":
+		return core.Custom, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want am, time, energy, power or custom)", name)
+	}
+}
+
+func aggregatorByName(name string) (core.Aggregator, error) {
+	switch strings.ToLower(name) {
+	case "", "arithmetic", "am":
+		return core.Arithmetic, nil
+	case "harmonic", "hm":
+		return core.Harmonic, nil
+	case "geometric", "gm":
+		return core.Geometric, nil
+	default:
+		return 0, fmt.Errorf("unknown mean %q (want arithmetic, harmonic or geometric)", name)
+	}
+}
+
+func parseWeights(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	resultsPath := flag.String("results", "", "system-under-test results JSON (required)")
+	refPath := flag.String("ref", "", "reference-system results JSON (required)")
+	schemeName := flag.String("scheme", "am", "weighting: am, time, energy, power, custom")
+	meanName := flag.String("mean", "arithmetic", "aggregation mean: arithmetic, harmonic, geometric")
+	weightsArg := flag.String("weights", "", "comma-separated custom weights (scheme=custom)")
+	verbose := flag.Bool("v", false, "print the per-benchmark breakdown")
+	flag.Parse()
+
+	if err := run(*resultsPath, *refPath, *schemeName, *meanName, *weightsArg, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "tgi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(resultsPath, refPath, schemeName, meanName, weightsArg string, verbose bool) error {
+	if resultsPath == "" || refPath == "" {
+		return fmt.Errorf("both -results and -ref are required")
+	}
+	scheme, err := schemeByName(schemeName)
+	if err != nil {
+		return err
+	}
+	agg, err := aggregatorByName(meanName)
+	if err != nil {
+		return err
+	}
+	weights, err := parseWeights(weightsArg)
+	if err != nil {
+		return err
+	}
+	if scheme == core.Custom && weights == nil {
+		return fmt.Errorf("-scheme custom requires -weights")
+	}
+	results, err := suite.LoadJSON(resultsPath)
+	if err != nil {
+		return err
+	}
+	refs, err := suite.LoadJSON(refPath)
+	if err != nil {
+		return err
+	}
+	if len(refs) != 1 {
+		return fmt.Errorf("reference file must hold exactly one run, has %d", len(refs))
+	}
+	refMs := refs[0].Measurements()
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("TGI (%v weights) vs reference %s", scheme, refs[0].System),
+		Headers: []string{"System", "Procs", "TGI"},
+	}
+	for _, r := range results {
+		c, err := core.ComputeAggregated(agg, r.Measurements(), refMs, scheme, weights)
+		if err != nil {
+			return fmt.Errorf("%s procs=%d: %w", r.System, r.Procs, err)
+		}
+		t.AddRow(r.System, fmt.Sprintf("%d", r.Procs), fmt.Sprintf("%.4f", c.TGI))
+		if verbose {
+			for i, b := range c.Benchmarks {
+				t.AddRow("  "+b, "",
+					fmt.Sprintf("EE=%.4g REE=%.4f W=%.3f", c.EE[i], c.REE[i], c.Weights[i]))
+			}
+		}
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/suite"
+)
+
+func TestSchemeByName(t *testing.T) {
+	cases := map[string]core.Scheme{
+		"am":              core.ArithmeticMean,
+		"AM":              core.ArithmeticMean,
+		"arithmetic":      core.ArithmeticMean,
+		"arithmetic-mean": core.ArithmeticMean,
+		"time":            core.TimeWeighted,
+		"energy":          core.EnergyWeighted,
+		"power":           core.PowerWeighted,
+		"custom":          core.Custom,
+	}
+	for in, want := range cases {
+		got, err := schemeByName(in)
+		if err != nil || got != want {
+			t.Errorf("schemeByName(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := schemeByName("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	ws, err := parseWeights("0.5, 0.3,0.2")
+	if err != nil || len(ws) != 3 || ws[0] != 0.5 || ws[2] != 0.2 {
+		t.Errorf("parseWeights = %v, %v", ws, err)
+	}
+	if ws, err := parseWeights(""); err != nil || ws != nil {
+		t.Errorf("empty weights = %v, %v", ws, err)
+	}
+	if _, err := parseWeights("1,x"); err == nil {
+		t.Error("bad weight accepted")
+	}
+}
+
+func writeRun(t *testing.T, spec *cluster.Spec, procs int, path string) {
+	t.Helper()
+	r, err := suite.Run(suite.DefaultConfig(spec, procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.SaveJSON(path, []*suite.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	testPath := filepath.Join(dir, "fire.json")
+	refPath := filepath.Join(dir, "ref.json")
+	writeRun(t, cluster.Testbed(), 8, testPath)
+	writeRun(t, cluster.Testbed(), 8, refPath)
+	for _, scheme := range []string{"am", "time", "energy", "power"} {
+		if err := run(testPath, refPath, scheme, "arithmetic", "", true); err != nil {
+			t.Errorf("scheme %s: %v", scheme, err)
+		}
+	}
+	if err := run(testPath, refPath, "custom", "geometric", "1,2,3", false); err != nil {
+		t.Errorf("custom: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "am", "arithmetic", "", false); err == nil {
+		t.Error("missing paths accepted")
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "r.json")
+	writeRun(t, cluster.Testbed(), 4, p)
+	if err := run(p, p, "custom", "arithmetic", "", false); err == nil {
+		t.Error("custom without weights accepted")
+	}
+	if err := run(p, filepath.Join(dir, "missing.json"), "am", "arithmetic", "", false); err == nil {
+		t.Error("missing reference accepted")
+	}
+	// Reference file with more than one run is rejected.
+	multi := filepath.Join(dir, "multi.json")
+	rs, err := suite.Sweep(cluster.Testbed(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.SaveJSON(multi, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, multi, "am", "arithmetic", "", false); err == nil {
+		t.Error("multi-run reference accepted")
+	}
+}
+
+func TestAggregatorByName(t *testing.T) {
+	for in, want := range map[string]core.Aggregator{
+		"": core.Arithmetic, "arithmetic": core.Arithmetic, "am": core.Arithmetic,
+		"harmonic": core.Harmonic, "hm": core.Harmonic,
+		"geometric": core.Geometric, "GM": core.Geometric,
+	} {
+		got, err := aggregatorByName(in)
+		if err != nil || got != want {
+			t.Errorf("aggregatorByName(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := aggregatorByName("median"); err == nil {
+		t.Error("bogus mean accepted")
+	}
+}
+
+func TestRunHarmonicMean(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "r.json")
+	writeRun(t, cluster.Testbed(), 8, p)
+	if err := run(p, p, "am", "harmonic", "", false); err != nil {
+		t.Fatal(err)
+	}
+}

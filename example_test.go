@@ -1,0 +1,70 @@
+package greenindex_test
+
+import (
+	"fmt"
+
+	greenindex "repro"
+)
+
+// ExampleCompute shows TGI from hand-entered measurements — the shape of a
+// real deployment, where performance comes from the benchmarks' own output
+// and power from a wall meter.
+func ExampleCompute() {
+	test := []greenindex.Measurement{
+		{Benchmark: "HPL", Metric: "GFLOPS", Performance: 120, Power: 100, Time: 10},
+		{Benchmark: "STREAM", Metric: "MBPS", Performance: 40, Power: 100, Time: 10},
+	}
+	ref := []greenindex.Measurement{
+		{Benchmark: "HPL", Metric: "GFLOPS", Performance: 100, Power: 100, Time: 10},
+		{Benchmark: "STREAM", Metric: "MBPS", Performance: 100, Power: 100, Time: 10},
+	}
+	res, err := greenindex.Compute(test, ref, greenindex.ArithmeticMean, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TGI = %.2f\n", res.TGI)
+	for i, b := range res.Benchmarks {
+		fmt.Printf("%s REE = %.2f\n", b, res.REE[i])
+	}
+	// Output:
+	// TGI = 0.80
+	// HPL REE = 1.20
+	// STREAM REE = 0.40
+}
+
+// ExampleCompute_customWeights emphasises the memory benchmark, the
+// paper's example of a user-tailored weighting.
+func ExampleCompute_customWeights() {
+	test := []greenindex.Measurement{
+		{Benchmark: "HPL", Metric: "GFLOPS", Performance: 120, Power: 100, Time: 10},
+		{Benchmark: "STREAM", Metric: "MBPS", Performance: 40, Power: 100, Time: 10},
+	}
+	ref := []greenindex.Measurement{
+		{Benchmark: "HPL", Metric: "GFLOPS", Performance: 100, Power: 100, Time: 10},
+		{Benchmark: "STREAM", Metric: "MBPS", Performance: 100, Power: 100, Time: 10},
+	}
+	res, err := greenindex.Compute(test, ref, greenindex.Custom, []float64{1, 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("memory-weighted TGI = %.2f\n", res.TGI)
+	// Output:
+	// memory-weighted TGI = 0.60
+}
+
+// ExampleREE: the relative-efficiency building block (Equation 3).
+func ExampleREE() {
+	test := greenindex.Measurement{
+		Benchmark: "HPL", Metric: "GFLOPS", Performance: 900, Power: 3000, Time: 100,
+	}
+	ref := greenindex.Measurement{
+		Benchmark: "HPL", Metric: "GFLOPS", Performance: 8000, Power: 32000, Time: 100,
+	}
+	ree, err := greenindex.REE(test, ref)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("REE = %.2f\n", ree)
+	// Output:
+	// REE = 1.20
+}

@@ -1,0 +1,68 @@
+// Weight sensitivity: evaluate one system's TGI under a spectrum of weight
+// profiles, from CPU-centric to memory-centric.
+//
+// The paper's Section II argues that the weighting factors let a user
+// "assign a higher weighting factor for the memory benchmark if we are
+// evaluating a supercomputer to execute a memory-intensive application."
+// This example makes that concrete: Fire's DDR3 memory system is far more
+// efficient than the FSB-era reference, so a memory-heavy workload profile
+// makes Fire look much greener than a CPU- or I/O-heavy one.
+//
+//	go run ./examples/memoryweighted
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	greenindex "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	refRun, err := greenindex.RunSuite(greenindex.SystemG(), 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testRun, err := greenindex.RunSuite(greenindex.Fire(), 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, ref := testRun.Measurements(), refRun.Measurements()
+
+	// Weight profiles for different production workloads; order is
+	// (HPL=CPU, STREAM=memory, IOzone=I/O), each summing to one.
+	profiles := []struct {
+		name    string
+		weights []float64
+	}{
+		{"equal (arithmetic mean)", []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}},
+		{"CPU-bound solver", []float64{0.7, 0.2, 0.1}},
+		{"memory-bound CFD", []float64{0.2, 0.7, 0.1}},
+		{"I/O-bound checkpointer", []float64{0.15, 0.15, 0.7}},
+		{"balanced simulation", []float64{0.4, 0.4, 0.2}},
+	}
+
+	t := &report.Table{
+		Title:   "TGI of Fire vs SystemG under different workload weight profiles",
+		Headers: []string{"Workload profile", "W(HPL)", "W(STREAM)", "W(IOzone)", "TGI"},
+	}
+	for _, p := range profiles {
+		res, err := greenindex.Compute(test, ref, greenindex.Custom, p.weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(p.name,
+			fmt.Sprintf("%.2f", p.weights[0]),
+			fmt.Sprintf("%.2f", p.weights[1]),
+			fmt.Sprintf("%.2f", p.weights[2]),
+			fmt.Sprintf("%.3f", res.TGI))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe same machine spans a wide TGI range depending on what the user")
+	fmt.Println("runs: procurement for a memory-bound workload reaches the opposite")
+	fmt.Println("conclusion from procurement for an I/O-bound one.")
+}

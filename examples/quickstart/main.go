@@ -1,0 +1,58 @@
+// Quickstart: compute The Green Index for one system against a reference.
+//
+// This example reproduces the paper's headline computation end to end using
+// the built-in simulated clusters: run the three-benchmark suite (HPL for
+// CPU, STREAM for memory, IOzone for I/O) behind a simulated wall-plug
+// meter on both machines, then aggregate the relative efficiencies into a
+// single number.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	greenindex "repro"
+)
+
+func main() {
+	// 1. Measure the reference system (SystemG, 1024 cores) — the paper's
+	// Table I. On real hardware these numbers would come from a wall meter.
+	refRun, err := greenindex.RunSuite(greenindex.SystemG(), 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reference measurements (SystemG @ 1024 cores):")
+	for _, m := range refRun.Measurements() {
+		fmt.Printf("  %-7s %10.4g %-6s at %s over %s\n",
+			m.Benchmark, m.Performance, m.Metric, m.Power, m.Time)
+	}
+
+	// 2. Measure the system under test (Fire, all 128 cores).
+	testRun, err := greenindex.RunSuite(greenindex.Fire(), 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSystem under test (Fire @ 128 cores):")
+	for _, m := range testRun.Measurements() {
+		fmt.Printf("  %-7s %10.4g %-6s at %s over %s\n",
+			m.Benchmark, m.Performance, m.Metric, m.Power, m.Time)
+	}
+
+	// 3. Aggregate into TGI with equal (arithmetic-mean) weights.
+	res, err := greenindex.Compute(testRun.Measurements(), refRun.Measurements(),
+		greenindex.ArithmeticMean, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPer-benchmark breakdown:")
+	for i, b := range res.Benchmarks {
+		fmt.Printf("  %-7s EE=%-10.4g relative EE=%-8.4f weight=%.3f\n",
+			b, res.EE[i], res.REE[i], res.Weights[i])
+	}
+	fmt.Printf("\nTGI(Fire vs SystemG) = %.4f\n", res.TGI)
+	fmt.Println("A value above 1 means Fire is more energy-efficient, system-wide,")
+	fmt.Println("than the reference — and the per-benchmark rows show which")
+	fmt.Println("subsystem is responsible (here I/O drags, memory carries).")
+}

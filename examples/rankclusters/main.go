@@ -1,0 +1,77 @@
+// Rank a fleet of clusters two ways — by the Green500's traditional HPL
+// FLOPS/W and by TGI — and show where the two metrics disagree.
+//
+// This is the paper's motivating scenario: a procurement decision based on
+// LINPACK-only efficiency can pick a machine whose memory and I/O
+// subsystems are power hogs. Ranking the same fleet under TGI (which folds
+// in STREAM and IOzone) surfaces the difference.
+//
+//	go run ./examples/rankclusters
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	greenindex "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/green500"
+	"repro/internal/suite"
+)
+
+func main() {
+	// The fleet: three machine generations, each measured with the full
+	// suite at its full core count.
+	specs := []*greenindex.Spec{
+		greenindex.Fire(),
+		greenindex.SystemG(),
+		greenindex.GreenGPU(),
+		cluster.SiCortex(), // low-power many-core: poor peak, strong efficiency
+	}
+	var entries []green500.Entry
+	for _, s := range specs {
+		run, err := suite.Run(suite.DefaultConfig(s, s.TotalCores()))
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name, err)
+		}
+		entries = append(entries, green500.Entry{
+			System:       s.Name,
+			Measurements: run.Measurements(),
+		})
+	}
+
+	// Ranking 1: FLOPS/W from the HPL run alone (the Green500 way).
+	flops, err := green500.RankByFlopsPerWatt(entries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := green500.Render("Green500-style list (HPL only)", "MFLOPS/W", flops).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ranking 2: TGI against SystemG as the common reference.
+	var ref []core.Measurement
+	for _, e := range entries {
+		if e.System == "SystemG" {
+			ref = e.Measurements
+		}
+	}
+	tgi, err := green500.RankByTGI(entries, ref, core.ArithmeticMean, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := green500.Render("TGI list (HPL + STREAM + IOzone, reference: SystemG)", "TGI", tgi).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if moved := green500.Disagreements(flops, tgi); len(moved) > 0 {
+		fmt.Printf("\nSystems whose rank changes under TGI: %v\n", moved)
+		fmt.Println("— the single-benchmark metric and the suite-wide metric disagree,")
+		fmt.Println("which is exactly the gap the paper's metric is built to expose.")
+	} else {
+		fmt.Println("\nBoth metrics agree on this fleet.")
+	}
+}

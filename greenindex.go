@@ -1,0 +1,145 @@
+// Package greenindex is the public API of The Green Index (TGI) toolkit: a
+// reproduction of "The Green Index: A Metric for Evaluating System-Wide
+// Energy Efficiency in HPC Systems" (Subramaniam & Feng, IPDPS Workshops
+// 2012) as a reusable Go library.
+//
+// TGI condenses a benchmark suite that stresses different subsystems (CPU,
+// memory, I/O) into one energy-efficiency number, relative to a reference
+// system:
+//
+//	EE_i  = Performance_i / Power_i
+//	REE_i = EE_i / EE_i(reference)
+//	TGI   = Σ W_i · REE_i,  Σ W_i = 1
+//
+// # Quick start
+//
+//	test := []greenindex.Measurement{
+//	    {Benchmark: "HPL", Metric: "GFLOPS", Performance: 890, Power: 2900, Time: 3400},
+//	    {Benchmark: "STREAM", Metric: "MBPS", Performance: 180000, Power: 2400, Time: 700},
+//	    {Benchmark: "IOzone", Metric: "MBPS", Performance: 380, Power: 2100, Time: 800},
+//	}
+//	ref := []greenindex.Measurement{ /* same benchmarks on the reference system */ }
+//	res, err := greenindex.Compute(test, ref, greenindex.ArithmeticMean, nil)
+//	fmt.Println(res.TGI)
+//
+// Measurements can come from anywhere — a wall-plug meter on real hardware,
+// or this module's simulated clusters and benchmarks (see RunSuite and the
+// Fire/SystemG machine models), which is how the paper's evaluation is
+// reproduced offline.
+package greenindex
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/suite"
+)
+
+// Measurement is one benchmark's observation on one system. See
+// core.Measurement for field semantics.
+type Measurement = core.Measurement
+
+// Components carries the per-benchmark breakdown behind a TGI value.
+type Components = core.Components
+
+// Scheme selects how the TGI weighting factors are assigned.
+type Scheme = core.Scheme
+
+// Weighting schemes (paper Section III).
+const (
+	// ArithmeticMean assigns equal weights to every benchmark.
+	ArithmeticMean = core.ArithmeticMean
+	// TimeWeighted weights each benchmark by its execution time.
+	TimeWeighted = core.TimeWeighted
+	// EnergyWeighted weights each benchmark by its energy consumption.
+	EnergyWeighted = core.EnergyWeighted
+	// PowerWeighted weights each benchmark by its mean power draw.
+	PowerWeighted = core.PowerWeighted
+	// Custom uses caller-provided weights (normalised to sum to one).
+	Custom = core.Custom
+)
+
+// Compute evaluates TGI for a suite of measurements against the reference
+// system's measurements using performance-per-watt efficiency.
+func Compute(test, ref []Measurement, s Scheme, customWeights []float64) (*Components, error) {
+	return core.Compute(test, ref, s, customWeights)
+}
+
+// EE returns a measurement's energy efficiency (performance per watt).
+func EE(m Measurement) (float64, error) { return core.EE(m) }
+
+// REE returns a measurement's efficiency relative to the reference
+// system's on the same benchmark.
+func REE(test, ref Measurement) (float64, error) { return core.REE(test, ref) }
+
+// Spec is a cluster machine description for the simulated measurement path.
+type Spec = cluster.Spec
+
+// Fire returns the paper's system under test: 8 nodes, 2× AMD Opteron 6134,
+// 128 cores, shared NFS-style storage backend.
+func Fire() *Spec { return cluster.Fire() }
+
+// SystemG returns the paper's reference system: 128 Mac Pro nodes with 2×
+// quad-core Xeon X5462, 1024 cores, QDR InfiniBand, local disks.
+func SystemG() *Spec { return cluster.SystemG() }
+
+// GreenGPU returns a GPU-accelerated cluster spec (the platform class the
+// paper's future work targets).
+func GreenGPU() *Spec { return cluster.GreenGPU() }
+
+// SuiteResult is a full benchmark-suite run at one process count.
+type SuiteResult = suite.Result
+
+// RunSuite executes the simulated HPL + STREAM + IOzone suite on spec at
+// the given process count, metering each run with a simulated Watts Up?
+// PRO-class wall meter, and returns the three measurements plus metadata.
+func RunSuite(spec *Spec, procs int) (*SuiteResult, error) {
+	return suite.Run(suite.DefaultConfig(spec, procs))
+}
+
+// SweepSuite runs the suite at each process count in procs.
+func SweepSuite(spec *Spec, procs []int) ([]*SuiteResult, error) {
+	return suite.Sweep(spec, procs)
+}
+
+// RunExtendedSuite executes the seven-benchmark extended suite (HPL,
+// DGEMM, STREAM, PTRANS, RandomAccess, FFT, IOzone) — full HPC
+// Challenge-style subsystem coverage, as the paper's introduction
+// motivates.
+func RunExtendedSuite(spec *Spec, procs int) (*SuiteResult, error) {
+	return suite.RunExtendedOn(spec, procs)
+}
+
+// Aggregator selects the mean that folds weighted REEs into TGI.
+type Aggregator = core.Aggregator
+
+// Aggregation means (see core.Aggregate).
+const (
+	// Arithmetic is the paper's Equation 4.
+	Arithmetic = core.Arithmetic
+	// Harmonic hugs the worst subsystem.
+	Harmonic = core.Harmonic
+	// Geometric is the scale-free SPEC-style fold.
+	Geometric = core.Geometric
+)
+
+// ComputeAggregated is Compute with a selectable aggregation mean.
+func ComputeAggregated(a Aggregator, test, ref []Measurement, s Scheme, customWeights []float64) (*Components, error) {
+	return core.ComputeAggregated(a, test, ref, s, customWeights)
+}
+
+// Facility models power drawn outside the computer system (UPS losses,
+// cooling, fixed machine-room overhead) for center-wide TGI — the paper's
+// future-work extension.
+type Facility = power.FacilitySpec
+
+// TypicalDatacenter returns a mid-2000s machine room (PUE ≈ 1.5 at load).
+func TypicalDatacenter() Facility { return power.TypicalDatacenter() }
+
+// RunSuiteCenterWide is RunSuite with the facility model applied to the
+// metered power, yielding center-wide measurements.
+func RunSuiteCenterWide(spec *Spec, procs int, f Facility) (*SuiteResult, error) {
+	cfg := suite.DefaultConfig(spec, procs)
+	cfg.Facility = &f
+	return suite.Run(cfg)
+}

@@ -1,0 +1,142 @@
+package greenindex_test
+
+import (
+	"math"
+	"testing"
+
+	greenindex "repro"
+)
+
+func TestPublicComputeFlow(t *testing.T) {
+	ref, err := greenindex.RunSuite(greenindex.SystemG(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := greenindex.RunSuite(greenindex.Fire(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := greenindex.Compute(test.Measurements(), ref.Measurements(),
+		greenindex.ArithmeticMean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TGI <= 0 || math.IsNaN(res.TGI) {
+		t.Errorf("TGI = %v", res.TGI)
+	}
+	if len(res.Benchmarks) != 3 {
+		t.Errorf("benchmarks = %v", res.Benchmarks)
+	}
+}
+
+func TestPublicEEAndREE(t *testing.T) {
+	m := greenindex.Measurement{
+		Benchmark: "HPL", Metric: "GFLOPS",
+		Performance: 900, Power: 3000, Time: 100,
+	}
+	ee, err := greenindex.EE(m)
+	if err != nil || ee != 0.3 {
+		t.Errorf("EE = %v, %v", ee, err)
+	}
+	ree, err := greenindex.REE(m, m)
+	if err != nil || math.Abs(ree-1) > 1e-12 {
+		t.Errorf("REE = %v, %v", ree, err)
+	}
+}
+
+func TestPublicCustomWeights(t *testing.T) {
+	ref, err := greenindex.RunSuite(greenindex.SystemG(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := greenindex.RunSuite(greenindex.Fire(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := greenindex.Compute(test.Measurements(), ref.Measurements(),
+		greenindex.Custom, []float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All weight on STREAM: TGI equals STREAM's REE.
+	if math.Abs(res.TGI-res.REE[1]) > 1e-12 {
+		t.Errorf("TGI %v != STREAM REE %v", res.TGI, res.REE[1])
+	}
+}
+
+func TestPublicSweep(t *testing.T) {
+	rs, err := greenindex.SweepSuite(greenindex.Fire(), []int{8, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Procs != 8 || rs[1].Procs != 128 {
+		t.Errorf("sweep = %+v", rs)
+	}
+}
+
+func TestPublicGPUSpec(t *testing.T) {
+	g := greenindex.GreenGPU()
+	if g.TotalCores() == 0 {
+		t.Error("GPU spec empty")
+	}
+	if _, err := greenindex.RunSuite(g, g.TotalCores()); err != nil {
+		t.Errorf("GPU suite run: %v", err)
+	}
+}
+
+func TestPublicExtendedSuite(t *testing.T) {
+	res, err := greenindex.RunExtendedSuite(greenindex.Fire(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 7 {
+		t.Errorf("extended suite has %d benchmarks", len(res.Runs))
+	}
+}
+
+func TestPublicAggregators(t *testing.T) {
+	ref, err := greenindex.RunSuite(greenindex.SystemG(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := greenindex.RunSuite(greenindex.Fire(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var am, hm, gm float64
+	for _, tc := range []struct {
+		a   greenindex.Aggregator
+		dst *float64
+	}{
+		{greenindex.Arithmetic, &am},
+		{greenindex.Harmonic, &hm},
+		{greenindex.Geometric, &gm},
+	} {
+		c, err := greenindex.ComputeAggregated(tc.a, test.Measurements(), ref.Measurements(),
+			greenindex.ArithmeticMean, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*tc.dst = c.TGI
+	}
+	if !(am >= gm && gm >= hm) {
+		t.Errorf("mean inequality violated: am=%v gm=%v hm=%v", am, gm, hm)
+	}
+}
+
+func TestPublicCenterWide(t *testing.T) {
+	it, err := greenindex.RunSuite(greenindex.Fire(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := greenindex.RunSuiteCenterWide(greenindex.Fire(), 64, greenindex.TypicalDatacenter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range it.Runs {
+		if cw.Runs[i].Measurement.Power <= it.Runs[i].Measurement.Power {
+			t.Errorf("%s: center-wide power not above IT power",
+				it.Runs[i].Measurement.Benchmark)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package beff
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Ranks: 1}); err == nil {
+		t.Error("single rank accepted")
+	}
+}
+
+func TestRunNative(t *testing.T) {
+	res, err := Run(Config{Ranks: 4, PingPongIters: 50, MessageWords: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Errorf("latency = %v", res.Latency)
+	}
+	if float64(res.Bandwidth) <= 0 || float64(res.RingBandwidth) <= 0 {
+		t.Errorf("bandwidths = %v, %v", res.Bandwidth, res.RingBandwidth)
+	}
+	// In-process channels: latency must be far below a real fabric's 1 ms.
+	if res.Latency > 1e-3 {
+		t.Errorf("latency %v implausibly high for in-process transport", res.Latency)
+	}
+}
+
+func TestRingCompletesAndReportsRate(t *testing.T) {
+	res, err := Run(Config{Ranks: 4, PingPongIters: 20, MessageWords: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring rate depends on scheduler interleaving (especially under
+	// the race detector), so only sanity bounds are asserted: positive and
+	// below a memcpy-speed ceiling.
+	if r := float64(res.RingBandwidth); r <= 0 || r > 1e12 {
+		t.Errorf("ring bandwidth %v outside sanity bounds", res.RingBandwidth)
+	}
+}
+
+func TestFromSpec(t *testing.T) {
+	r, err := FromSpec(cluster.Fire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.Fire()
+	if float64(r.Latency) != spec.Interconnect.LatencySec {
+		t.Errorf("latency = %v", r.Latency)
+	}
+	if float64(r.Bandwidth) >= spec.Interconnect.LinkBps {
+		t.Error("protocol haircut missing")
+	}
+	if float64(r.RingBandwidth) != float64(r.Bandwidth)*8 {
+		t.Errorf("ring = %v", r.RingBandwidth)
+	}
+	if _, err := FromSpec(nil); err == nil {
+		t.Error("nil spec accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Machine specs serialise to plain JSON so users can describe their own
+// clusters for cmd/greenbench without recompiling. The exported struct
+// fields are the schema; LoadSpec validates on the way in.
+
+// SaveSpec writes a spec to path as indented JSON.
+func SaveSpec(path string, s *Spec) error {
+	if s == nil {
+		return fmt.Errorf("cluster: nil spec")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadSpec reads and validates a spec written by SaveSpec (or by hand).
+func LoadSpec(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("cluster: parsing %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return &s, nil
+}

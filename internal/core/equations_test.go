@@ -1,0 +1,153 @@
+package core
+
+// Executable versions of the paper's Section III analysis: Equations 13-15
+// derive closed forms of TGI under time, energy and power weights and
+// conclude that "using energy and power as weights cancels the effect of
+// the energy component of the benchmarked systems" while time weights keep
+// the desired inverse-energy property. These tests check the algebra on
+// the implementation itself.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// eqSuite builds a 3-benchmark suite from raw (M, p, t) tuples.
+func eqSuite(m, p, t [3]float64) []Measurement {
+	names := [3]string{"A", "B", "C"}
+	out := make([]Measurement, 3)
+	for i := range out {
+		out[i] = Measurement{
+			Benchmark: names[i], Metric: "U",
+			Performance: m[i], Power: units.Watts(p[i]), Time: units.Seconds(t[i]),
+		}
+	}
+	return out
+}
+
+func TestEq13TimeWeightedClosedForm(t *testing.T) {
+	// Equation 13: TGI_time = Σ_i t_i·M_i / (Σt · p_i · refEE_i).
+	m := [3]float64{120, 40, 90}
+	p := [3]float64{100, 80, 60}
+	tm := [3]float64{10, 20, 5}
+	test := eqSuite(m, p, tm)
+	ref := eqSuite([3]float64{100, 100, 100}, [3]float64{100, 100, 100}, [3]float64{1, 1, 1})
+	c, err := Compute(test, ref, TimeWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumT := tm[0] + tm[1] + tm[2]
+	want := 0.0
+	for i := 0; i < 3; i++ {
+		refEE := 1.0 // ref: 100/100
+		want += tm[i] * m[i] / (sumT * p[i] * refEE)
+	}
+	if math.Abs(c.TGI-want) > 1e-12 {
+		t.Errorf("Eq 13: computed %v, closed form %v", c.TGI, want)
+	}
+}
+
+func TestEq14EnergyWeightCancellation(t *testing.T) {
+	// Equation 14 reduces to TGI_energy = Σ_i t_i·M_i / (Σe · refEE_i):
+	// the per-benchmark power p_i cancels. So redistributing power between
+	// benchmarks while holding every t_i, M_i and the total energy Σe
+	// fixed must not move energy-weighted TGI at all — the paper's
+	// "cancels the effect of the energy component".
+	ref := eqSuite([3]float64{100, 100, 100}, [3]float64{100, 100, 100}, [3]float64{1, 1, 1})
+	m := [3]float64{120, 40, 90}
+	tm := [3]float64{10, 10, 10} // equal times so Σe moves with Σp only
+	pA := [3]float64{100, 80, 60}
+	// Shift 30 W from benchmark A to benchmark C: Σp (and with equal
+	// times, Σe) unchanged.
+	pB := [3]float64{70, 80, 90}
+	a, err := Compute(eqSuite(m, pA, tm), ref, EnergyWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(eqSuite(m, pB, tm), ref, EnergyWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TGI-b.TGI) > 1e-12 {
+		t.Errorf("Eq 14 cancellation violated: %v vs %v", a.TGI, b.TGI)
+	}
+	// Control: the arithmetic mean does NOT cancel — it must move.
+	a2, _ := Compute(eqSuite(m, pA, tm), ref, ArithmeticMean, nil)
+	b2, _ := Compute(eqSuite(m, pB, tm), ref, ArithmeticMean, nil)
+	if math.Abs(a2.TGI-b2.TGI) < 1e-9 {
+		t.Error("arithmetic mean unexpectedly invariant to power redistribution")
+	}
+}
+
+func TestEq15PowerWeightCancellation(t *testing.T) {
+	// Equation 15 reduces to TGI_power = Σ_i M_i / (Σp · refEE_i): p_i
+	// cancels even without equal times.
+	ref := eqSuite([3]float64{100, 100, 100}, [3]float64{100, 100, 100}, [3]float64{1, 1, 1})
+	m := [3]float64{120, 40, 90}
+	tm := [3]float64{10, 20, 5}
+	pA := [3]float64{100, 80, 60}
+	pB := [3]float64{60, 100, 80} // same Σp, different split
+	a, err := Compute(eqSuite(m, pA, tm), ref, PowerWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(eqSuite(m, pB, tm), ref, PowerWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TGI-b.TGI) > 1e-12 {
+		t.Errorf("Eq 15 cancellation violated: %v vs %v", a.TGI, b.TGI)
+	}
+}
+
+func TestEq15PowerCancellationProperty(t *testing.T) {
+	// Property form: any power split with the same total gives the same
+	// power-weighted TGI.
+	ref := eqSuite([3]float64{100, 100, 100}, [3]float64{100, 100, 100}, [3]float64{1, 1, 1})
+	f := func(s1, s2 float64) bool {
+		// Two splits of 300 W across three benchmarks.
+		a1 := 50 + math.Abs(math.Mod(s1, 150))
+		a2 := 50 + math.Abs(math.Mod(s2, 150))
+		pA := [3]float64{a1, 100, 200 - a1}
+		pB := [3]float64{a2, 100, 200 - a2}
+		m := [3]float64{120, 40, 90}
+		tm := [3]float64{10, 20, 5}
+		ra, e1 := Compute(eqSuite(m, pA, tm), ref, PowerWeighted, nil)
+		rb, e2 := Compute(eqSuite(m, pB, tm), ref, PowerWeighted, nil)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return math.Abs(ra.TGI-rb.TGI) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeightsKeepDesiredProperty(t *testing.T) {
+	// Section III: "TGI using time as weight given the performance has the
+	// desired property" — doubling one benchmark's power (hence energy, at
+	// fixed time) must reduce its contribution proportionally, so TGI_time
+	// must strictly fall; energy- and power-weighted TGI must NOT fall
+	// (their forms cancel p_i, leaving only the Σ in the denominator).
+	ref := eqSuite([3]float64{100, 100, 100}, [3]float64{100, 100, 100}, [3]float64{1, 1, 1})
+	m := [3]float64{120, 40, 90}
+	tm := [3]float64{10, 20, 5}
+	pA := [3]float64{100, 80, 60}
+	pHot := [3]float64{200, 80, 60} // benchmark A burns twice the power
+	base, err := Compute(eqSuite(m, pA, tm), ref, TimeWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Compute(eqSuite(m, pHot, tm), ref, TimeWeighted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.TGI >= base.TGI {
+		t.Errorf("time-weighted TGI did not penalise extra energy: %v -> %v",
+			base.TGI, hot.TGI)
+	}
+}

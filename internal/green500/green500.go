@@ -1,0 +1,132 @@
+// Package green500 builds ranked energy-efficiency lists in the style of
+// the Green500 — the effort the paper positions TGI against. Systems can be
+// ranked two ways: by the traditional FLOPS-per-watt of their HPL run (how
+// the Green500 ranks today), or by TGI against a common reference system
+// (the paper's proposal: "TGI provides a single number that can be used to
+// gauge the energy efficiency of a supercomputer"). Producing both lists
+// side by side shows where the two metrics disagree — which is the paper's
+// motivating observation.
+package green500
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+// Entry is one system's submission: its full suite measurements.
+type Entry struct {
+	System       string
+	Measurements []core.Measurement
+}
+
+// hplOf picks the HPL measurement of a submission.
+func (e Entry) hplOf() (core.Measurement, error) {
+	for _, m := range e.Measurements {
+		if m.Benchmark == suite.BenchHPL {
+			return m, nil
+		}
+	}
+	return core.Measurement{}, fmt.Errorf("green500: %s has no HPL measurement", e.System)
+}
+
+// Ranked is one row of a ranked list.
+type Ranked struct {
+	Rank   int
+	System string
+	Score  float64 // MFLOPS/W or TGI depending on the list
+}
+
+// RankByFlopsPerWatt ranks entries by the traditional HPL MFLOPS/W,
+// descending. Performance must be reported in GFLOPS (as suite.Run does).
+func RankByFlopsPerWatt(entries []Entry) ([]Ranked, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("green500: no entries")
+	}
+	out := make([]Ranked, 0, len(entries))
+	for _, e := range entries {
+		m, err := e.hplOf()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("green500: %s: %w", e.System, err)
+		}
+		out = append(out, Ranked{
+			System: e.System,
+			Score:  m.Performance * 1000 / float64(m.Power), // GFLOPS -> MFLOPS
+		})
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+// RankByTGI ranks entries by TGI against the reference measurements,
+// descending, under the given weighting scheme.
+func RankByTGI(entries []Entry, ref []core.Measurement, scheme core.Scheme, custom []float64) ([]Ranked, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("green500: no entries")
+	}
+	out := make([]Ranked, 0, len(entries))
+	for _, e := range entries {
+		c, err := core.Compute(e.Measurements, ref, scheme, custom)
+		if err != nil {
+			return nil, fmt.Errorf("green500: %s: %w", e.System, err)
+		}
+		out = append(out, Ranked{System: e.System, Score: c.TGI})
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+// sortRanked orders by descending score (ties by name for determinism) and
+// assigns ranks starting at 1.
+func sortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].System < rs[j].System
+	})
+	for i := range rs {
+		rs[i].Rank = i + 1
+	}
+}
+
+// Disagreements returns the systems whose rank differs between two lists —
+// the cases where the single-benchmark metric and the suite-wide metric
+// tell different stories.
+func Disagreements(a, b []Ranked) []string {
+	rankIn := func(rs []Ranked) map[string]int {
+		m := make(map[string]int, len(rs))
+		for _, r := range rs {
+			m[r.System] = r.Rank
+		}
+		return m
+	}
+	ra, rb := rankIn(a), rankIn(b)
+	var out []string
+	for sys, r := range ra {
+		if rb[sys] != 0 && rb[sys] != r {
+			out = append(out, sys)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render formats a ranked list as a table.
+func Render(title, scoreLabel string, rs []Ranked) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"Rank", "System", scoreLabel},
+	}
+	for _, r := range rs {
+		t.AddRow(fmt.Sprintf("%d", r.Rank), r.System, fmt.Sprintf("%.3f", r.Score))
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+package green500
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/suite"
+)
+
+func entryFor(t *testing.T, spec *cluster.Spec, procs int) Entry {
+	t.Helper()
+	res, err := suite.Run(suite.DefaultConfig(spec, procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Entry{System: spec.Name, Measurements: res.Measurements()}
+}
+
+func TestRankByFlopsPerWatt(t *testing.T) {
+	entries := []Entry{
+		entryFor(t, cluster.Fire(), 128),
+		entryFor(t, cluster.SystemG(), 1024),
+		entryFor(t, cluster.GreenGPU(), 128),
+	}
+	ranked, err := RankByFlopsPerWatt(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("rows = %d", len(ranked))
+	}
+	for i, r := range ranked {
+		if r.Rank != i+1 {
+			t.Errorf("rank %d at index %d", r.Rank, i)
+		}
+		if i > 0 && r.Score > ranked[i-1].Score {
+			t.Errorf("not descending at %d", i)
+		}
+	}
+	// The GPU machine dominates FLOPS/W (that's what it's for).
+	if ranked[0].System != "GreenGPU" {
+		t.Errorf("top system = %s", ranked[0].System)
+	}
+	// Fire (2010 parts) beats SystemG (2008 parts).
+	pos := map[string]int{}
+	for _, r := range ranked {
+		pos[r.System] = r.Rank
+	}
+	if pos["Fire"] > pos["SystemG"] {
+		t.Errorf("Fire ranked below SystemG: %v", pos)
+	}
+}
+
+func TestRankByTGI(t *testing.T) {
+	ref := entryFor(t, cluster.SystemG(), 1024)
+	entries := []Entry{
+		entryFor(t, cluster.Fire(), 128),
+		ref,
+	}
+	ranked, err := RankByTGI(entries, ref.Measurements, core.ArithmeticMean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference system scores exactly 1 against itself.
+	for _, r := range ranked {
+		if r.System == "SystemG" && (r.Score < 0.999 || r.Score > 1.001) {
+			t.Errorf("reference TGI = %v", r.Score)
+		}
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	if _, err := RankByFlopsPerWatt(nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	noHPL := Entry{System: "x", Measurements: []core.Measurement{{
+		Benchmark: "STREAM", Metric: "MBPS", Performance: 1, Power: 1, Time: 1,
+	}}}
+	if _, err := RankByFlopsPerWatt([]Entry{noHPL}); err == nil {
+		t.Error("entry without HPL accepted")
+	}
+	if _, err := RankByTGI([]Entry{noHPL}, nil, core.ArithmeticMean, nil); err == nil {
+		t.Error("TGI with no reference accepted")
+	}
+}
+
+func TestDisagreements(t *testing.T) {
+	a := []Ranked{{1, "x", 3}, {2, "y", 2}, {3, "z", 1}}
+	b := []Ranked{{1, "y", 9}, {2, "x", 8}, {3, "z", 7}}
+	d := Disagreements(a, b)
+	if len(d) != 2 || d[0] != "x" || d[1] != "y" {
+		t.Errorf("disagreements = %v", d)
+	}
+	if len(Disagreements(a, a)) != 0 {
+		t.Error("self-comparison disagrees")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tab := Render("The TGI-500", "TGI", []Ranked{{1, "Fire", 1.83}})
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TGI-500", "Fire", "1.830"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	rs := []Ranked{{0, "b", 5}, {0, "a", 5}}
+	sortRanked(rs)
+	if rs[0].System != "a" || rs[0].Rank != 1 {
+		t.Errorf("tie break wrong: %+v", rs)
+	}
+}
+
+func TestLowPowerSystemRanksWellPerWatt(t *testing.T) {
+	// The SiCortex-class machine loses on raw HPL but must beat the
+	// commodity Xeon cluster on MFLOPS/W — the historical efficiency story
+	// TGI grew out of.
+	entries := []Entry{
+		entryFor(t, cluster.SystemG(), 1024),
+		entryFor(t, cluster.SiCortex(), cluster.SiCortex().TotalCores()),
+	}
+	ranked, err := RankByFlopsPerWatt(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].System != "SiCortex" {
+		t.Errorf("top per-watt system = %s, want SiCortex (scores: %+v)", ranked[0].System, ranked)
+	}
+}

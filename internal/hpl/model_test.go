@@ -1,0 +1,131 @@
+package hpl
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(ModelConfig{}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	bad := DefaultModelConfig(cluster.Fire(), 8)
+	bad.MemFill = 0
+	if _, err := Simulate(bad); err == nil {
+		t.Error("zero fill accepted")
+	}
+	bad = DefaultModelConfig(cluster.Fire(), 8)
+	bad.GemmEff = 1.5
+	if _, err := Simulate(bad); err == nil {
+		t.Error("eff > 1 accepted")
+	}
+	bad = DefaultModelConfig(cluster.Fire(), 8)
+	bad.NB = 0
+	if _, err := Simulate(bad); err == nil {
+		t.Error("NB=0 accepted")
+	}
+	if _, err := Simulate(DefaultModelConfig(cluster.Fire(), 999)); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestSimulateFireFullCluster(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.Fire(), 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Fire "is capable of delivering 90[0] GFLOPS on LINPACK".
+	// Peak is 1.18 TFLOPS, so delivered must sit in the 0.7-1.0 TFLOPS band.
+	gf := float64(res.Perf) / 1e9
+	if gf < 700 || gf > 1050 {
+		t.Errorf("Fire HPL = %.0f GFLOPS, want ~900 (paper §IV)", gf)
+	}
+	if res.Efficiency < 0.6 || res.Efficiency > 0.92 {
+		t.Errorf("efficiency = %v", res.Efficiency)
+	}
+	if res.Duration <= 0 || res.ComputeTime <= 0 || res.CommTime <= 0 {
+		t.Errorf("times: %v %v %v", res.Duration, res.ComputeTime, res.CommTime)
+	}
+	if err := res.Profile.Validate(cluster.Fire()); err != nil {
+		t.Errorf("profile invalid: %v", err)
+	}
+}
+
+func TestSimulateSystemGReference(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.SystemG(), 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table I: HPL on SystemG ≈ 8.1 TFLOPS (OCR "8. TFLOPS").
+	tf := float64(res.Perf) / 1e12
+	if tf < 7.0 || tf > 9.5 {
+		t.Errorf("SystemG HPL = %.2f TFLOPS, want ~8.1 (Table I)", tf)
+	}
+}
+
+func TestSimulatePerfMonotoneInProcs(t *testing.T) {
+	prev := 0.0
+	for _, p := range []int{8, 16, 32, 64, 128} {
+		res, err := Simulate(DefaultModelConfig(cluster.Fire(), p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Perf) <= prev {
+			t.Errorf("perf not increasing at p=%d: %v <= %v", p, res.Perf, prev)
+		}
+		prev = float64(res.Perf)
+	}
+}
+
+func TestSimulateEfficiencyDeclinesWithScale(t *testing.T) {
+	small, err := Simulate(DefaultModelConfig(cluster.Fire(), 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Simulate(DefaultModelConfig(cluster.Fire(), 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Efficiency >= small.Efficiency {
+		t.Errorf("parallel efficiency did not decline: %v -> %v",
+			small.Efficiency, large.Efficiency)
+	}
+}
+
+func TestSimulateNGrowsWithProcs(t *testing.T) {
+	a, _ := Simulate(DefaultModelConfig(cluster.Fire(), 16))
+	b, _ := Simulate(DefaultModelConfig(cluster.Fire(), 64))
+	if b.N <= a.N {
+		t.Errorf("N did not grow with memory: %d -> %d", a.N, b.N)
+	}
+}
+
+func TestSimulateSingleProcNoComm(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.Testbed(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommTime != 0 {
+		t.Errorf("single-proc comm time = %v", res.CommTime)
+	}
+}
+
+func TestSimulateProfileUtilisationSane(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.Fire(), 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.Profile.Phases[0].NodeUtil {
+		if u.CPU <= 0 || u.CPU > 1 {
+			t.Errorf("node %d cpu util %v", i, u.CPU)
+		}
+		if u.Mem < 0 || u.Mem > 1 {
+			t.Errorf("node %d mem util %v", i, u.Mem)
+		}
+	}
+	// Full cluster at full core count: CPU util should be high (>0.8).
+	if u := res.Profile.Phases[0].NodeUtil[0].CPU; u < 0.8 {
+		t.Errorf("full-load cpu util only %v", u)
+	}
+}

@@ -1,0 +1,209 @@
+// Package iozone implements an IOzone-style filesystem benchmark — the I/O
+// component of the paper's TGI suite. The paper runs only IOzone's write
+// test "for simplicity of evaluation"; this package provides write, rewrite,
+// read and reread tests with configurable file and record sizes, reporting
+// throughput in bytes/second like the original tool.
+//
+// Native mode drives either the host filesystem (a directory) or the
+// in-memory storage.FS substrate. Simulated mode (model.go) evaluates the
+// cluster's storage topology: per-node local disks, or a shared backend all
+// nodes contend for — the mechanism behind the Fire cluster's early I/O
+// saturation.
+package iozone
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// Test identifies one IOzone operation.
+type Test int
+
+// The supported tests. The paper's evaluation uses Write only.
+const (
+	Write Test = iota
+	Rewrite
+	Read
+	Reread
+)
+
+func (t Test) String() string {
+	switch t {
+	case Write:
+		return "write"
+	case Rewrite:
+		return "rewrite"
+	case Read:
+		return "read"
+	case Reread:
+		return "reread"
+	default:
+		return fmt.Sprintf("test(%d)", int(t))
+	}
+}
+
+// Target abstracts where the benchmark's file lives.
+type Target interface {
+	WriteAt(off int64, p []byte) error
+	ReadAt(off int64, p []byte) error
+	Close() error
+}
+
+// fsTarget adapts storage.FS.
+type fsTarget struct {
+	fs   *storage.FS
+	name string
+}
+
+func (t *fsTarget) WriteAt(off int64, p []byte) error {
+	_, err := t.fs.WriteAt(t.name, off, p)
+	return err
+}
+
+func (t *fsTarget) ReadAt(off int64, p []byte) error {
+	_, err := t.fs.ReadAt(t.name, off, p)
+	return err
+}
+
+func (t *fsTarget) Close() error { return t.fs.Delete(t.name) }
+
+// NewFSTarget creates the benchmark file on the in-memory filesystem.
+func NewFSTarget(fs *storage.FS, name string) (Target, error) {
+	if err := fs.Create(name); err != nil {
+		return nil, err
+	}
+	return &fsTarget{fs: fs, name: name}, nil
+}
+
+// osTarget adapts a host file.
+type osTarget struct {
+	f *os.File
+}
+
+func (t *osTarget) WriteAt(off int64, p []byte) error {
+	_, err := t.f.WriteAt(p, off)
+	return err
+}
+
+func (t *osTarget) ReadAt(off int64, p []byte) error {
+	_, err := t.f.ReadAt(p, off)
+	return err
+}
+
+func (t *osTarget) Close() error {
+	name := t.f.Name()
+	if err := t.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// NewOSTarget creates the benchmark file in dir on the host filesystem.
+func NewOSTarget(dir string) (Target, error) {
+	f, err := os.CreateTemp(dir, "iozone-*.dat")
+	if err != nil {
+		return nil, err
+	}
+	return &osTarget{f: f}, nil
+}
+
+// Config describes one native run.
+type Config struct {
+	FileBytes   int64  // total file size
+	RecordBytes int    // I/O unit (IOzone's -r)
+	Seed        uint64 // record-content generator
+}
+
+// Result is one test's outcome.
+type Result struct {
+	Test       Test
+	FileBytes  int64
+	RecordSize int
+	Elapsed    units.Seconds
+	Rate       units.BytesPerSec
+}
+
+// Run executes the given tests in order against the target, reusing the
+// same file (so Rewrite/Reread measure warm paths, as in IOzone).
+func Run(target Target, cfg Config, tests ...Test) ([]Result, error) {
+	if target == nil {
+		return nil, errors.New("iozone: nil target")
+	}
+	if cfg.FileBytes <= 0 || cfg.RecordBytes <= 0 {
+		return nil, errors.New("iozone: file and record sizes must be positive")
+	}
+	if int64(cfg.RecordBytes) > cfg.FileBytes {
+		return nil, errors.New("iozone: record larger than file")
+	}
+	if len(tests) == 0 {
+		tests = []Test{Write}
+	}
+	rec := make([]byte, cfg.RecordBytes)
+	out := make([]Result, 0, len(tests))
+	written := false
+	for _, tst := range tests {
+		if (tst == Read || tst == Reread || tst == Rewrite) && !written {
+			// Ensure the file exists before read/rewrite phases.
+			if err := fillFile(target, cfg, rec); err != nil {
+				return nil, err
+			}
+			written = true
+		}
+		start := time.Now()
+		switch tst {
+		case Write, Rewrite:
+			if err := fillFile(target, cfg, rec); err != nil {
+				return nil, err
+			}
+			written = true
+		case Read, Reread:
+			for off := int64(0); off < cfg.FileBytes; off += int64(cfg.RecordBytes) {
+				n := int64(cfg.RecordBytes)
+				if off+n > cfg.FileBytes {
+					n = cfg.FileBytes - off
+				}
+				if err := target.ReadAt(off, rec[:n]); err != nil {
+					return nil, fmt.Errorf("iozone: %v at offset %d: %w", tst, off, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("iozone: unknown test %v", tst)
+		}
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			el = 1e-9
+		}
+		out = append(out, Result{
+			Test:       tst,
+			FileBytes:  cfg.FileBytes,
+			RecordSize: cfg.RecordBytes,
+			Elapsed:    units.Seconds(el),
+			Rate:       units.BytesPerSec(float64(cfg.FileBytes) / el),
+		})
+	}
+	return out, nil
+}
+
+// fillFile writes the whole file record by record with generated content.
+func fillFile(target Target, cfg Config, rec []byte) error {
+	rng := sim.NewRNG(cfg.Seed + 1)
+	for i := range rec {
+		rec[i] = byte(rng.Uint64())
+	}
+	for off := int64(0); off < cfg.FileBytes; off += int64(cfg.RecordBytes) {
+		n := int64(cfg.RecordBytes)
+		if off+n > cfg.FileBytes {
+			n = cfg.FileBytes - off
+		}
+		if err := target.WriteAt(off, rec[:n]); err != nil {
+			return fmt.Errorf("iozone: write at offset %d: %w", off, err)
+		}
+	}
+	return nil
+}

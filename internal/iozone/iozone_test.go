@@ -1,0 +1,226 @@
+package iozone
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func memTarget(t *testing.T) Target {
+	t.Helper()
+	dev, err := storage.NewMemDevice(1 << 16) // 256 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := storage.NewFS(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewFSTarget(fs, "bench.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func TestRunValidation(t *testing.T) {
+	tgt := memTarget(t)
+	defer tgt.Close()
+	if _, err := Run(nil, Config{FileBytes: 10, RecordBytes: 5}); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := Run(tgt, Config{FileBytes: 0, RecordBytes: 5}); err == nil {
+		t.Error("zero file accepted")
+	}
+	if _, err := Run(tgt, Config{FileBytes: 10, RecordBytes: 0}); err == nil {
+		t.Error("zero record accepted")
+	}
+	if _, err := Run(tgt, Config{FileBytes: 10, RecordBytes: 20}); err == nil {
+		t.Error("record > file accepted")
+	}
+}
+
+func TestWriteTestOnMemFS(t *testing.T) {
+	tgt := memTarget(t)
+	defer tgt.Close()
+	cfg := Config{FileBytes: 8 << 20, RecordBytes: 64 << 10, Seed: 1}
+	res, err := Run(tgt, cfg, Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Test != Write {
+		t.Fatalf("results = %+v", res)
+	}
+	if float64(res[0].Rate) <= 0 {
+		t.Errorf("rate = %v", res[0].Rate)
+	}
+	if res[0].FileBytes != cfg.FileBytes {
+		t.Errorf("file bytes = %d", res[0].FileBytes)
+	}
+}
+
+func TestAllTestsSequence(t *testing.T) {
+	tgt := memTarget(t)
+	defer tgt.Close()
+	cfg := Config{FileBytes: 4 << 20, RecordBytes: 128 << 10, Seed: 2}
+	res, err := Run(tgt, cfg, Write, Rewrite, Read, Reread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	names := []string{"write", "rewrite", "read", "reread"}
+	for i, r := range res {
+		if r.Test.String() != names[i] {
+			t.Errorf("test %d = %v", i, r.Test)
+		}
+		if float64(r.Rate) <= 0 {
+			t.Errorf("%v rate %v", r.Test, r.Rate)
+		}
+	}
+}
+
+func TestReadWithoutPriorWrite(t *testing.T) {
+	tgt := memTarget(t)
+	defer tgt.Close()
+	// Read-first order must transparently create the file.
+	cfg := Config{FileBytes: 1 << 20, RecordBytes: 64 << 10, Seed: 3}
+	res, err := Run(tgt, cfg, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || float64(res[0].Rate) <= 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestUnalignedTail(t *testing.T) {
+	tgt := memTarget(t)
+	defer tgt.Close()
+	// File not a multiple of the record: the tail record is partial.
+	cfg := Config{FileBytes: (1 << 20) + 12345, RecordBytes: 64 << 10, Seed: 4}
+	if _, err := Run(tgt, cfg, Write, Read); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSTarget(t *testing.T) {
+	tgt, err := NewOSTarget(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{FileBytes: 1 << 20, RecordBytes: 64 << 10, Seed: 5}
+	res, err := Run(tgt, cfg, Write, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+	if err := tgt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := Simulate(ModelConfig{}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := Simulate(DefaultModelConfig(cluster.Fire(), 0)); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Simulate(DefaultModelConfig(cluster.Fire(), 99)); err == nil {
+		t.Error("too many nodes accepted")
+	}
+	bad := DefaultModelConfig(cluster.Fire(), 2)
+	bad.ClientOverhead = 1
+	if _, err := Simulate(bad); err == nil {
+		t.Error("overhead=1 accepted")
+	}
+}
+
+func TestSharedBackendSaturates(t *testing.T) {
+	// Fire's backend: 400 MB/s aggregate, 150 MB/s per client.
+	get := func(nodes int) *ModelResult {
+		r, err := Simulate(DefaultModelConfig(cluster.Fire(), nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2, r3, r8 := get(1), get(2), get(3), get(8)
+	if !r1.Shared {
+		t.Error("Fire should use the shared backend")
+	}
+	// One client: capped at ~150 MB/s (times overhead).
+	if v := float64(r1.Aggregate); v < 120e6 || v > 160e6 {
+		t.Errorf("1 node aggregate = %v", r1.Aggregate)
+	}
+	// Ramp from 1 to 2 clients.
+	if float64(r2.Aggregate) <= float64(r1.Aggregate)*1.5 {
+		t.Errorf("no ramp: %v -> %v", r1.Aggregate, r2.Aggregate)
+	}
+	// Saturation: 3 clients hit the backend ceiling; 8 adds nothing.
+	if math.Abs(float64(r8.Aggregate)-float64(r3.Aggregate)) > 0.05*float64(r3.Aggregate) {
+		t.Errorf("backend not saturated: 3 nodes %v, 8 nodes %v", r3.Aggregate, r8.Aggregate)
+	}
+}
+
+func TestLocalDisksScaleLinearly(t *testing.T) {
+	get := func(nodes int) float64 {
+		r, err := Simulate(DefaultModelConfig(cluster.SystemG(), nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Shared {
+			t.Error("SystemG should use local disks")
+		}
+		return float64(r.Aggregate)
+	}
+	a, b := get(16), get(64)
+	if math.Abs(b/a-4) > 0.01 {
+		t.Errorf("local disks not linear: %v -> %v", a, b)
+	}
+}
+
+func TestModelProfile(t *testing.T) {
+	r, err := Simulate(DefaultModelConfig(cluster.Fire(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Profile.Validate(cluster.Fire()); err != nil {
+		t.Fatal(err)
+	}
+	u := r.Profile.Phases[0].NodeUtil[0]
+	// Shared backend: traffic leaves over the NIC, not the local disk.
+	if u.Disk != 0 {
+		t.Errorf("disk util %v on a shared-backend cluster", u.Disk)
+	}
+	if u.Net <= 0 {
+		t.Errorf("net util %v", u.Net)
+	}
+	// Local-disk cluster: the reverse.
+	r2, err := Simulate(DefaultModelConfig(cluster.SystemG(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := r2.Profile.Phases[0].NodeUtil[0]
+	if u2.Disk <= 0 || u2.Net != 0 {
+		t.Errorf("local-disk util = %+v", u2)
+	}
+}
+
+func TestModelDurationMatchesAggregate(t *testing.T) {
+	cfg := DefaultModelConfig(cluster.Fire(), 4)
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied := float64(cfg.Nodes) * cfg.FileBytesPerNode / float64(r.Duration)
+	if math.Abs(implied-float64(r.Aggregate)) > 1 {
+		t.Errorf("aggregate %v inconsistent with duration %v", r.Aggregate, r.Duration)
+	}
+}

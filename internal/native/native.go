@@ -1,0 +1,192 @@
+// Package native runs the benchmark suite on the host machine itself —
+// real kernels, real clock time — and converts the results into the
+// core.Measurement tuples the TGI pipeline consumes. This is the path a
+// downstream user takes with actual hardware: run the suite, read power
+// from their own wall meter (or supply an assumed constant draw), compute
+// TGI against a recorded reference.
+//
+// The host suite covers the same subsystems as the simulated one: HPL
+// (the distributed LU over mpirt), DGEMM, STREAM triad, FFT, RandomAccess
+// and an IOzone-style write test. Sizes default to laptop-scale so a run
+// finishes in seconds; they are knobs, not benchmarks of record.
+package native
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/beff"
+	"repro/internal/core"
+	"repro/internal/dgemm"
+	"repro/internal/fft"
+	"repro/internal/hpl"
+	"repro/internal/iozone"
+	"repro/internal/ptrans"
+	"repro/internal/randomaccess"
+	"repro/internal/stream"
+	"repro/internal/units"
+)
+
+// Config describes one native host-suite run.
+type Config struct {
+	// Power is the host's wall draw during load. There is no software way
+	// to read a wall meter, so the caller supplies it (from their meter,
+	// RAPL export, or a datasheet estimate).
+	Power units.Watts
+	// Procs is the rank/worker count; 0 means GOMAXPROCS.
+	Procs int
+	// HPLSize is the matrix order for the LU run. 0 means 384.
+	HPLSize int
+	// StreamWords is the STREAM vector length. 0 means 1<<21.
+	StreamWords int
+	// FFTLogN is the FFT size exponent. 0 means 16.
+	FFTLogN int
+	// GUPSLogTable is the RandomAccess table exponent. 0 means 16.
+	GUPSLogTable int
+	// IOBytes is the I/O test file size. 0 means 64 MiB.
+	IOBytes int64
+	// IODir is the directory for the I/O test file; empty means the
+	// system temp directory.
+	IODir string
+	Seed  uint64
+}
+
+// Result is the outcome of the host suite.
+type Result struct {
+	Measurements []core.Measurement
+	// Details holds per-benchmark notes (grid shapes, verification status).
+	Details map[string]string
+}
+
+// Run executes the host suite and returns TGI-ready measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Power <= 0 {
+		return nil, errors.New("native: host power must be positive (read it from your meter)")
+	}
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if procs < 1 {
+			procs = 1
+		}
+	}
+	out := &Result{Details: map[string]string{}}
+	add := func(name, metric string, perf float64, elapsed units.Seconds, detail string) {
+		out.Measurements = append(out.Measurements, core.Measurement{
+			Benchmark:   name,
+			Metric:      metric,
+			Performance: perf,
+			Power:       cfg.Power,
+			Time:        elapsed,
+		})
+		out.Details[name] = detail
+	}
+
+	// HPL: distributed LU over the in-process runtime.
+	n := cfg.HPLSize
+	if n == 0 {
+		n = 384
+	}
+	hplRes, err := hpl.Run(hpl.Config{N: n, NB: 32, Procs: procs, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, fmt.Errorf("native: HPL: %w", err)
+	}
+	if !hplRes.Passed {
+		return nil, fmt.Errorf("native: HPL residual %v failed", hplRes.Residual)
+	}
+	add("HPL", "GFLOPS", hplRes.GFLOPS, units.FromDuration(hplRes.Elapsed),
+		fmt.Sprintf("N=%d grid %dx%d residual %.3f", hplRes.N, hplRes.P, hplRes.Q, hplRes.Residual))
+
+	// DGEMM.
+	dgRes, err := dgemm.Run(dgemm.Config{N: 256, Workers: procs, Trials: 2, Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, fmt.Errorf("native: DGEMM: %w", err)
+	}
+	add("DGEMM", "GFLOPS", dgRes.GFLOPS, dgRes.BestTime,
+		fmt.Sprintf("N=%d verified (max err %.2e)", dgRes.N, dgRes.MaxError))
+
+	// STREAM triad.
+	words := cfg.StreamWords
+	if words == 0 {
+		words = 1 << 21
+	}
+	stRes, err := stream.Run(stream.Triad, stream.Config{N: words, Workers: procs, Trials: 5})
+	if err != nil {
+		return nil, fmt.Errorf("native: STREAM: %w", err)
+	}
+	add("STREAM", "MBPS", float64(stRes.Best)/1e6,
+		stRes.BestTime*units.Seconds(stRes.Trials),
+		fmt.Sprintf("N=%d validated", stRes.N))
+
+	// FFT.
+	logn := cfg.FFTLogN
+	if logn == 0 {
+		logn = 16
+	}
+	ffRes, err := fft.Run(fft.Config{LogN: logn, Batches: procs, Trials: 3, Seed: cfg.Seed + 3})
+	if err != nil {
+		return nil, fmt.Errorf("native: FFT: %w", err)
+	}
+	if !ffRes.Passed {
+		return nil, fmt.Errorf("native: FFT round-trip error %v", ffRes.MaxError)
+	}
+	add("FFT", "GFLOPS", ffRes.GFLOPS, ffRes.BestTime,
+		fmt.Sprintf("N=%d round-trip verified", ffRes.N))
+
+	// RandomAccess.
+	logt := cfg.GUPSLogTable
+	if logt == 0 {
+		logt = 16
+	}
+	raRes, err := randomaccess.Run(randomaccess.Config{LogTableSize: logt, Workers: procs, Seed: cfg.Seed + 4})
+	if err != nil {
+		return nil, fmt.Errorf("native: RandomAccess: %w", err)
+	}
+	add("RandomAccess", "GUPS", raRes.GUPS, raRes.Elapsed,
+		fmt.Sprintf("%d updates verified", raRes.Updates))
+
+	// PTRANS: distributed transpose over the runtime. Grid side = the
+	// largest square that fits the worker count.
+	g := 1
+	for (g+1)*(g+1) <= procs {
+		g++
+	}
+	ptN := 128 * g
+	ptRes, err := ptrans.Run(ptrans.Config{N: ptN, Grid: g, Seed: cfg.Seed + 6})
+	if err != nil {
+		return nil, fmt.Errorf("native: PTRANS: %w", err)
+	}
+	add("PTRANS", "MBPS", float64(ptRes.Rate)/1e6, units.FromDuration(ptRes.Elapsed),
+		fmt.Sprintf("N=%d grid %dx%d verified", ptN, g, g))
+
+	// b_eff: runtime latency/bandwidth (needs at least two ranks).
+	if procs >= 2 {
+		beRes, err := beff.Run(beff.Config{Ranks: procs, PingPongIters: 100, MessageWords: 1 << 14})
+		if err != nil {
+			return nil, fmt.Errorf("native: b_eff: %w", err)
+		}
+		add("b_eff", "MBPS", float64(beRes.Bandwidth)/1e6,
+			units.Seconds(1e-3), // microbenchmark; nominal duration
+			fmt.Sprintf("latency %.2v, ring %s", beRes.Latency, beRes.RingBandwidth))
+	}
+
+	// IOzone write on the host filesystem.
+	ioBytes := cfg.IOBytes
+	if ioBytes == 0 {
+		ioBytes = 64 << 20
+	}
+	tgt, err := iozone.NewOSTarget(cfg.IODir)
+	if err != nil {
+		return nil, fmt.Errorf("native: IOzone: %w", err)
+	}
+	defer tgt.Close()
+	ioRes, err := iozone.Run(tgt, iozone.Config{FileBytes: ioBytes, RecordBytes: 1 << 20, Seed: cfg.Seed + 5}, iozone.Write)
+	if err != nil {
+		return nil, fmt.Errorf("native: IOzone: %w", err)
+	}
+	add("IOzone", "MBPS", float64(ioRes[0].Rate)/1e6, ioRes[0].Elapsed,
+		fmt.Sprintf("%d MiB file, 1 MiB records", ioBytes>>20))
+
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package native
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestRunRequiresPower(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("zero power accepted")
+	}
+}
+
+func smallConfig() Config {
+	return Config{
+		Power:        100,
+		Procs:        2,
+		HPLSize:      128,
+		StreamWords:  1 << 18,
+		FFTLogN:      12,
+		GUPSLogTable: 12,
+		IOBytes:      4 << 20,
+		Seed:         1,
+	}
+}
+
+func TestRunHostSuite(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"HPL", "DGEMM", "STREAM", "FFT", "RandomAccess", "PTRANS", "b_eff", "IOzone"}
+	if len(res.Measurements) != len(want) {
+		t.Fatalf("got %d measurements", len(res.Measurements))
+	}
+	for i, m := range res.Measurements {
+		if m.Benchmark != want[i] {
+			t.Errorf("measurement %d = %q, want %q", i, m.Benchmark, want[i])
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Benchmark, err)
+		}
+		if m.Power != 100 {
+			t.Errorf("%s power = %v", m.Benchmark, m.Power)
+		}
+		if res.Details[m.Benchmark] == "" {
+			t.Errorf("%s has no detail", m.Benchmark)
+		}
+	}
+}
+
+func TestHostSuiteFeedsTGI(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the host's own run as its reference: TGI must be exactly 1.
+	c, err := core.Compute(res.Measurements, res.Measurements, core.ArithmeticMean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TGI < 0.999 || c.TGI > 1.001 {
+		t.Errorf("self-TGI = %v", c.TGI)
+	}
+	_ = units.Watts(0)
+}
+
+func TestSingleWorkerSkipsBeff(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Procs = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Measurements {
+		if m.Benchmark == "b_eff" {
+			t.Error("b_eff present on a single-rank run")
+		}
+	}
+}
+
+func TestIODirOverride(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IODir = t.TempDir()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// Observation pairs a node utilisation with a measured node wall power, the
+// raw material for fitting a linear power model to a real machine. On
+// physical systems these observations come from microbenchmarks that pin
+// one component at a time; here they come from the simulated meter, which
+// closes the loop between the model and the calibration path.
+type Observation struct {
+	Util  cluster.Util
+	Watts float64
+}
+
+// LinearCoefficients are the fitted parameters of
+//
+//	P(u) = Base + CPU·u_cpu + Mem·u_mem + Disk·u_disk + Net·u_net.
+type LinearCoefficients struct {
+	Base, CPU, Mem, Disk, Net float64
+}
+
+// Predict evaluates the fitted model at u.
+func (c LinearCoefficients) Predict(u cluster.Util) float64 {
+	u = u.Clamp()
+	return c.Base + c.CPU*u.CPU + c.Mem*u.Mem + c.Disk*u.Disk + c.Net*u.Net
+}
+
+// Fit solves the least-squares problem for the linear node power model. It
+// needs at least five observations spanning the utilisation space; an error
+// is returned when the normal equations are singular (e.g. all observations
+// share the same utilisation).
+func Fit(obs []Observation) (LinearCoefficients, error) {
+	const k = 5
+	if len(obs) < k {
+		return LinearCoefficients{}, fmt.Errorf("power: need at least %d observations, have %d", k, len(obs))
+	}
+	// Normal equations AᵀA x = Aᵀb with rows [1, cpu, mem, disk, net].
+	var ata [k][k]float64
+	var atb [k]float64
+	for _, o := range obs {
+		u := o.Util.Clamp()
+		row := [k]float64{1, u.CPU, u.Mem, u.Disk, u.Net}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * o.Watts
+		}
+	}
+	x, err := solve5(ata, atb)
+	if err != nil {
+		return LinearCoefficients{}, err
+	}
+	return LinearCoefficients{Base: x[0], CPU: x[1], Mem: x[2], Disk: x[3], Net: x[4]}, nil
+}
+
+// solve5 is Gaussian elimination with partial pivoting for the fixed-size
+// system the fit produces.
+func solve5(a [5][5]float64, b [5]float64) ([5]float64, error) {
+	const n = 5
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [5]float64{}, errors.New("power: singular calibration system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [5]float64
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// RMSE returns the root-mean-square error of the fitted model over obs.
+func (c LinearCoefficients) RMSE(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, o := range obs {
+		d := c.Predict(o.Util) - o.Watts
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(obs)))
+}
+
+// CalibrationSweep generates the standard set of single-component
+// utilisation points used to collect calibration observations: idle, then
+// each component alone at 25/50/75/100%, then two mixed points.
+func CalibrationSweep() []cluster.Util {
+	var out []cluster.Util
+	out = append(out, cluster.Util{})
+	levels := []float64{0.25, 0.5, 0.75, 1}
+	for _, l := range levels {
+		out = append(out,
+			cluster.Util{CPU: l},
+			cluster.Util{Mem: l},
+			cluster.Util{Disk: l},
+			cluster.Util{Net: l},
+		)
+	}
+	out = append(out,
+		cluster.Util{CPU: 0.8, Mem: 0.6, Disk: 0.2, Net: 0.3},
+		cluster.Util{CPU: 0.4, Mem: 0.9, Disk: 0.7, Net: 0.1},
+	)
+	return out
+}
+
+// CalibrateModel runs the calibration sweep against a model and fits linear
+// coefficients to the resulting node wall power, returning the fit and its
+// RMSE. With the PSU curve enabled the node power is mildly nonlinear in
+// utilisation, so a nonzero RMSE is expected; the fit is still what an
+// operator would derive from wall readings of a real machine.
+func CalibrateModel(m *Model) (LinearCoefficients, float64, error) {
+	var obs []Observation
+	for _, u := range CalibrationSweep() {
+		obs = append(obs, Observation{Util: u, Watts: m.NodeWall(u)})
+	}
+	c, err := Fit(obs)
+	if err != nil {
+		return LinearCoefficients{}, 0, err
+	}
+	return c, c.RMSE(obs), nil
+}

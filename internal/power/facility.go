@@ -1,0 +1,106 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/series"
+	"repro/internal/units"
+)
+
+// FacilitySpec models the power drawn outside the computer system itself —
+// cooling, UPS conversion losses and fixed overheads. The paper's future
+// work calls for exactly this: "extend [the] TGI metric to give a
+// center-wide view of the energy efficiency by including components such
+// as cooling infrastructure."
+//
+// The model is the standard machine-room decomposition:
+//
+//	P_facility(t) = P_IT(t)/UPSEff + P_IT(t)/COP + FixedWatts
+//
+// where COP is the cooling plant's coefficient of performance (every watt
+// of IT heat needs 1/COP watts of cooling) and FixedWatts covers lighting,
+// pumps and air handlers that run regardless of load.
+type FacilitySpec struct {
+	// COP is the cooling coefficient of performance; typical chilled-water
+	// plants: 2-5. Zero disables the cooling term.
+	COP float64
+	// UPSEff is the UPS/distribution efficiency in (0, 1]; zero means 1
+	// (no conversion losses).
+	UPSEff float64
+	// FixedWatts is the load-independent facility overhead.
+	FixedWatts float64
+}
+
+// Validate checks the facility parameters.
+func (f FacilitySpec) Validate() error {
+	if f.COP < 0 {
+		return errors.New("power: negative COP")
+	}
+	if f.UPSEff < 0 || f.UPSEff > 1 {
+		return fmt.Errorf("power: UPS efficiency %v outside [0, 1]", f.UPSEff)
+	}
+	if f.FixedWatts < 0 {
+		return errors.New("power: negative fixed facility power")
+	}
+	return nil
+}
+
+// TypicalDatacenter returns a mid-2000s machine-room facility: COP-3
+// chilled water, 92%-efficient UPS, 2 kW of fixed overhead. With an IT
+// load around 30 kW this lands near the PUE ≈ 1.5 of the era's surveys.
+func TypicalDatacenter() FacilitySpec {
+	return FacilitySpec{COP: 3, UPSEff: 0.92, FixedWatts: 2000}
+}
+
+// Apply returns the facility-level power for a given IT wall power.
+func (f FacilitySpec) Apply(it units.Watts) (units.Watts, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	p := float64(it)
+	ups := f.UPSEff
+	if ups == 0 {
+		ups = 1
+	}
+	out := p / ups
+	if f.COP > 0 {
+		out += p / f.COP
+	}
+	out += f.FixedWatts
+	return units.Watts(out), nil
+}
+
+// ApplyTrace maps an IT power trace to the facility-level trace the
+// building's meter would record.
+func (f FacilitySpec) ApplyTrace(it *series.Trace) (*series.Trace, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	out := series.New(it.Len())
+	for _, s := range it.Samples() {
+		p, err := f.Apply(s.Power)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(s.At, p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PUE returns the power usage effectiveness at a given IT load: facility
+// power divided by IT power. PUE is load-dependent under this model
+// because of the fixed term — light loads look worse, which matches
+// measured facilities.
+func (f FacilitySpec) PUE(it units.Watts) (float64, error) {
+	if it <= 0 {
+		return 0, errors.New("power: PUE needs positive IT load")
+	}
+	fac, err := f.Apply(it)
+	if err != nil {
+		return 0, err
+	}
+	return float64(fac) / float64(it), nil
+}

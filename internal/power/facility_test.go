@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/series"
+	"repro/internal/units"
+)
+
+func TestFacilityValidate(t *testing.T) {
+	bad := []FacilitySpec{
+		{COP: -1},
+		{UPSEff: -0.1},
+		{UPSEff: 1.1},
+		{FixedWatts: -5},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad facility %d validated", i)
+		}
+	}
+	if err := TypicalDatacenter().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacilityApplyHandValues(t *testing.T) {
+	f := FacilitySpec{COP: 2, UPSEff: 0.5, FixedWatts: 100}
+	// 1000 W IT: UPS doubles it to 2000, cooling adds 500, fixed 100.
+	got, err := f.Apply(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2600 {
+		t.Errorf("Apply = %v, want 2600", got)
+	}
+	// Zero members mean identity.
+	ident := FacilitySpec{}
+	got, err = ident.Apply(1234)
+	if err != nil || got != 1234 {
+		t.Errorf("identity Apply = %v, %v", got, err)
+	}
+}
+
+func TestFacilityMonotoneProperty(t *testing.T) {
+	f := TypicalDatacenter()
+	check := func(a, b float64) bool {
+		pa := units.Watts(math.Abs(math.Mod(a, 1e6)))
+		pb := pa + units.Watts(math.Abs(math.Mod(b, 1e5)))
+		fa, err1 := f.Apply(pa)
+		fb, err2 := f.Apply(pb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return fb >= fa && fa >= pa // facility power never below IT power
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacilityApplyTrace(t *testing.T) {
+	it := series.New(2)
+	if err := it.Append(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Append(10, 1000); err != nil {
+		t.Fatal(err)
+	}
+	f := FacilitySpec{COP: 4, UPSEff: 1, FixedWatts: 50}
+	fac, err := f.ApplyTrace(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := fac.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1000 + 250 + 50) W × 10 s.
+	if math.Abs(float64(e)-13000) > 1e-9 {
+		t.Errorf("facility energy = %v, want 13000", e)
+	}
+}
+
+func TestPUE(t *testing.T) {
+	f := TypicalDatacenter()
+	// At 30 kW IT: 30/0.92 + 30/3 + 2 = 32.61 + 10 + 2 = 44.6 kW -> PUE 1.49.
+	pue, err := f.PUE(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pue < 1.4 || pue > 1.6 {
+		t.Errorf("PUE = %v, want ~1.49", pue)
+	}
+	// Fixed overhead makes light loads look worse.
+	light, _ := f.PUE(3000)
+	if light <= pue {
+		t.Errorf("PUE not load-dependent: %v at 3 kW vs %v at 30 kW", light, pue)
+	}
+	if _, err := f.PUE(0); err == nil {
+		t.Error("zero IT load accepted")
+	}
+}
+
+func TestCenterWideTGIPreservesRelativeOrdering(t *testing.T) {
+	// Scaling both systems' power by the same facility model divides both
+	// EEs by (almost) the same factor, so REE — and TGI — barely move when
+	// the fixed term is small relative to load. This is why the paper can
+	// propose facility extension without breaking comparability.
+	f := FacilitySpec{COP: 3, UPSEff: 0.92} // no fixed term
+	eeBefore := 100.0 / 2000
+	p, err := f.Apply(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eeAfter := 100.0 / float64(p)
+	ratio := eeBefore / eeAfter
+	// Every system's EE scales by the same 1/0.92 + 1/3 factor.
+	want := 1/0.92 + 1.0/3
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("EE scale factor = %v, want %v", ratio, want)
+	}
+}

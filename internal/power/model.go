@@ -1,0 +1,242 @@
+// Package power turns machine-model load into watts: component-level power
+// models, PSU wall-power conversion, a simulated wall-plug meter in the
+// style of the Watts Up? PRO ES used by the paper (Figure 1), and a
+// least-squares calibration fit.
+//
+// Measurement pathway (mirrors the paper's): the cluster's load profile is
+// evaluated into an exact piecewise-constant power signal; the meter samples
+// that signal at a fixed interval (1 s for the Watts Up? PRO), quantises to
+// its resolution (0.1 W) and adds zero-mean gauge noise; energy is then the
+// trapezoidal integral of the sampled trace.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/series"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Model maps component utilisation to electrical power for one cluster spec.
+type Model struct {
+	Spec *cluster.Spec
+
+	// DisablePSU treats supplies as ideal (DC == wall). Ablation knob.
+	DisablePSU bool
+
+	// CPUExponent is the exponent relating CPU utilisation to dynamic CPU
+	// power; 1 is the linear model used for the headline results. Values
+	// below 1 model clock-gating-poor parts whose power rises steeply at
+	// low utilisation.
+	CPUExponent float64
+}
+
+// NewModel returns a power model for spec with default parameters.
+func NewModel(spec *cluster.Spec) (*Model, error) {
+	if spec == nil {
+		return nil, errors.New("power: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{Spec: spec, CPUExponent: 1}, nil
+}
+
+// cpuDyn returns the utilisation term for CPU dynamic power.
+func (m *Model) cpuDyn(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return 1
+	}
+	exp := m.CPUExponent
+	if exp == 0 {
+		exp = 1
+	}
+	if exp == 1 {
+		return u
+	}
+	// Integer-ish exponents only need a couple of multiplies; use the
+	// general path for everything else.
+	switch exp {
+	case 2:
+		return u * u
+	case 3:
+		return u * u * u
+	default:
+		return math.Pow(u, exp)
+	}
+}
+
+// NodeDC returns the DC power of one node at utilisation u, in watts.
+func (m *Model) NodeDC(u cluster.Util) float64 {
+	u = u.Clamp()
+	n := m.Spec.Node
+	p := n.BaseWatts
+	p += float64(n.Sockets) * (n.CPU.IdleWatts + (n.CPU.MaxWatts-n.CPU.IdleWatts)*m.cpuDyn(u.CPU))
+	p += n.Memory.IdleWatts + n.Memory.ActiveWatts*u.Mem
+	p += n.Disk.IdleWatts + n.Disk.ActiveWatts*u.Disk
+	p += n.NIC.IdleWatts + n.NIC.ActiveWatts*u.Net
+	return p
+}
+
+// NodeWall returns the wall (AC) power of one node at utilisation u,
+// applying the PSU efficiency curve.
+func (m *Model) NodeWall(u cluster.Util) float64 {
+	dc := m.NodeDC(u)
+	if m.DisablePSU {
+		return dc
+	}
+	eff := m.Spec.PSU.Efficiency(dc)
+	if eff <= 0 {
+		return dc
+	}
+	return dc / eff
+}
+
+// ClusterPower returns the wall power of the entire cluster when node i runs
+// at utils[i]; nodes beyond len(utils) are idle but powered. The fabric
+// switch and the shared-storage backend always draw their constant power —
+// they are inside the metered envelope, as in the paper's Figure 1 setup.
+func (m *Model) ClusterPower(utils []cluster.Util) units.Watts {
+	if len(utils) > m.Spec.Nodes {
+		utils = utils[:m.Spec.Nodes]
+	}
+	var p float64
+	for _, u := range utils {
+		p += m.NodeWall(u)
+	}
+	for i := len(utils); i < m.Spec.Nodes; i++ {
+		p += m.NodeWall(cluster.Util{})
+	}
+	p += m.Spec.Interconnect.SwitchWatts
+	p += m.Spec.Storage.Watts
+	return units.Watts(p)
+}
+
+// IdlePower returns the wall power of the fully-idle cluster.
+func (m *Model) IdlePower() units.Watts { return m.ClusterPower(nil) }
+
+// PeakPower returns the wall power with every component of every node at
+// full utilisation.
+func (m *Model) PeakPower() units.Watts {
+	full := make([]cluster.Util, m.Spec.Nodes)
+	for i := range full {
+		full[i] = cluster.Util{CPU: 1, Mem: 1, Disk: 1, Net: 1}
+	}
+	return m.ClusterPower(full)
+}
+
+// ProfileTrace evaluates a load profile into the exact piecewise-constant
+// cluster power signal, emitting one sample at each phase boundary (both
+// sides, so trapezoidal integration is exact).
+func (m *Model) ProfileTrace(lp *cluster.LoadProfile) (*series.Trace, error) {
+	if err := lp.Validate(m.Spec); err != nil {
+		return nil, err
+	}
+	tr := series.New(2 * len(lp.Phases))
+	var at units.Seconds
+	for _, ph := range lp.Phases {
+		p := m.ClusterPower(ph.NodeUtil)
+		if err := tr.Append(at, p); err != nil {
+			return nil, err
+		}
+		at += ph.Duration
+		if err := tr.Append(at, p); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// MeterConfig configures the simulated wall-plug meter.
+type MeterConfig struct {
+	Interval     units.Seconds // sampling period; Watts Up? PRO ES: 1 s
+	QuantumWatts float64       // display resolution; Watts Up? PRO ES: 0.1 W
+	NoiseStdDev  float64       // gauge noise, standard deviation in watts
+	Seed         uint64        // deterministic noise stream
+	DropRate     float64       // probability a sample is lost (failure injection)
+}
+
+// WattsUpPRO returns the configuration matching the meter the paper used.
+func WattsUpPRO(seed uint64) MeterConfig {
+	return MeterConfig{Interval: 1, QuantumWatts: 0.1, NoiseStdDev: 0.5, Seed: seed}
+}
+
+// Meter is a simulated wall-plug power meter.
+type Meter struct {
+	cfg MeterConfig
+}
+
+// NewMeter validates the configuration and returns a meter.
+func NewMeter(cfg MeterConfig) (*Meter, error) {
+	if cfg.Interval <= 0 {
+		return nil, errors.New("power: meter interval must be positive")
+	}
+	if cfg.QuantumWatts < 0 || cfg.NoiseStdDev < 0 {
+		return nil, errors.New("power: negative meter quantum or noise")
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return nil, fmt.Errorf("power: drop rate %v outside [0, 1)", cfg.DropRate)
+	}
+	return &Meter{cfg: cfg}, nil
+}
+
+// Measure samples the exact signal of model×profile the way the physical
+// meter would: fixed-interval sampling, quantisation, gauge noise, optional
+// sample loss. The returned trace covers the whole profile duration.
+func (mt *Meter) Measure(model *Model, lp *cluster.LoadProfile) (*series.Trace, error) {
+	exact, err := model.ProfileTrace(lp)
+	if err != nil {
+		return nil, err
+	}
+	return mt.Sample(exact)
+}
+
+// Sample applies the meter's sampling behaviour to an arbitrary exact trace.
+func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
+	start, end, err := exact.Span()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(mt.cfg.Seed)
+	out := series.New(int(float64(end-start)/float64(mt.cfg.Interval)) + 2)
+	for at := start; ; at += mt.cfg.Interval {
+		clamped := at
+		last := false
+		if clamped >= end {
+			clamped, last = end, true
+		}
+		p, err := exact.Interpolate(clamped)
+		if err != nil {
+			return nil, err
+		}
+		v := float64(p)
+		if mt.cfg.NoiseStdDev > 0 {
+			v += rng.NormAt(0, mt.cfg.NoiseStdDev)
+		}
+		if q := mt.cfg.QuantumWatts; q > 0 {
+			v = float64(int64(v/q+0.5)) * q
+		}
+		if v < 0 {
+			v = 0
+		}
+		drop := mt.cfg.DropRate > 0 && rng.Float64() < mt.cfg.DropRate
+		// Never drop the boundary samples: the trace must span the window.
+		if drop && at != start && !last {
+			continue
+		}
+		if err := out.Append(clamped, units.Watts(v)); err != nil {
+			return nil, err
+		}
+		if last {
+			break
+		}
+	}
+	return out, nil
+}

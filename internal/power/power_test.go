@@ -1,0 +1,371 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+func newFireModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(cluster.Fire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelRejectsBadSpec(t *testing.T) {
+	if _, err := NewModel(nil); err == nil {
+		t.Error("nil spec accepted")
+	}
+	bad := cluster.Fire()
+	bad.Nodes = -1
+	if _, err := NewModel(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestNodePowerMonotone(t *testing.T) {
+	m := newFireModel(t)
+	idle := m.NodeDC(cluster.Util{})
+	full := m.NodeDC(cluster.Util{CPU: 1, Mem: 1, Disk: 1, Net: 1})
+	if idle <= 0 {
+		t.Errorf("idle DC = %v", idle)
+	}
+	if full <= idle {
+		t.Errorf("full DC %v not above idle %v", full, idle)
+	}
+	// Each component alone raises power above idle.
+	for _, u := range []cluster.Util{{CPU: 1}, {Mem: 1}, {Disk: 1}, {Net: 1}} {
+		if p := m.NodeDC(u); p <= idle {
+			t.Errorf("util %+v power %v not above idle %v", u, p, idle)
+		}
+	}
+}
+
+func TestNodePowerMonotoneProperty(t *testing.T) {
+	m := newFireModel(t)
+	f := func(a, b, c, d, e, f2, g, h float64) bool {
+		u1 := cluster.Util{CPU: frac(a), Mem: frac(b), Disk: frac(c), Net: frac(d)}
+		u2 := cluster.Util{
+			CPU:  math.Min(1, u1.CPU+frac(e)),
+			Mem:  math.Min(1, u1.Mem+frac(f2)),
+			Disk: math.Min(1, u1.Disk+frac(g)),
+			Net:  math.Min(1, u1.Net+frac(h)),
+		}
+		return m.NodeDC(u2) >= m.NodeDC(u1)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(v, 1))
+}
+
+func TestWallAboveDC(t *testing.T) {
+	m := newFireModel(t)
+	for _, u := range CalibrationSweep() {
+		dc := m.NodeDC(u)
+		wall := m.NodeWall(u)
+		if wall < dc {
+			t.Errorf("wall %v below DC %v at %+v", wall, dc, u)
+		}
+	}
+	m.DisablePSU = true
+	u := cluster.Util{CPU: 0.5}
+	if m.NodeWall(u) != m.NodeDC(u) {
+		t.Error("DisablePSU did not bypass the PSU curve")
+	}
+}
+
+func TestClusterPowerIncludesIdleNodesAndFabric(t *testing.T) {
+	m := newFireModel(t)
+	spec := m.Spec
+	idleAll := float64(m.IdlePower())
+	wantIdle := 8*m.NodeWall(cluster.Util{}) + spec.Interconnect.SwitchWatts + spec.Storage.Watts
+	if math.Abs(idleAll-wantIdle) > 1e-9 {
+		t.Errorf("idle cluster = %v, want %v", idleAll, wantIdle)
+	}
+	// Loading one node leaves the other seven at idle draw.
+	one := m.ClusterPower([]cluster.Util{{CPU: 1}})
+	wantOne := wantIdle - m.NodeWall(cluster.Util{}) + m.NodeWall(cluster.Util{CPU: 1})
+	if math.Abs(float64(one)-wantOne) > 1e-9 {
+		t.Errorf("one-node load = %v, want %v", one, wantOne)
+	}
+	if peak := m.PeakPower(); float64(peak) <= idleAll {
+		t.Errorf("peak %v not above idle %v", peak, idleAll)
+	}
+}
+
+func TestClusterPowerPlausibleRange(t *testing.T) {
+	m := newFireModel(t)
+	idle := float64(m.IdlePower())
+	peak := float64(m.PeakPower())
+	// An 8-node dual-socket cluster: idle ~1.5-2.5 kW, peak ~3-4.5 kW.
+	if idle < 1200 || idle > 2600 {
+		t.Errorf("Fire idle power %v W outside plausible range", idle)
+	}
+	if peak < 2800 || peak > 4800 {
+		t.Errorf("Fire peak power %v W outside plausible range", peak)
+	}
+}
+
+func TestCPUExponent(t *testing.T) {
+	m := newFireModel(t)
+	lin := m.NodeDC(cluster.Util{CPU: 0.5})
+	m.CPUExponent = 2
+	quad := m.NodeDC(cluster.Util{CPU: 0.5})
+	if quad >= lin {
+		t.Errorf("quadratic exponent at half load (%v) should be below linear (%v)", quad, lin)
+	}
+	// At the endpoints the exponent must not matter.
+	m.CPUExponent = 1
+	p0, p1 := m.NodeDC(cluster.Util{}), m.NodeDC(cluster.Util{CPU: 1})
+	m.CPUExponent = 3
+	if m.NodeDC(cluster.Util{}) != p0 || m.NodeDC(cluster.Util{CPU: 1}) != p1 {
+		t.Error("exponent changed endpoint power")
+	}
+	m.CPUExponent = 1.5
+	mid := m.NodeDC(cluster.Util{CPU: 0.5})
+	if mid >= lin || mid <= quad {
+		t.Errorf("exponent 1.5 power %v not between linear %v and quadratic %v", mid, lin, quad)
+	}
+}
+
+func TestProfileTraceExactEnergy(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(10, 8, cluster.Util{CPU: 1}),
+		cluster.UniformPhase(20, 8, cluster.Util{}),
+	}}
+	tr, err := m.ProfileTrace(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tr.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFull := float64(m.ClusterPower(lp.Phases[0].NodeUtil))
+	pIdle := float64(m.IdlePower())
+	want := pFull*10 + pIdle*20
+	if math.Abs(float64(e)-want) > 1e-6 {
+		t.Errorf("profile energy = %v, want %v", e, want)
+	}
+}
+
+func TestMeterConfigValidation(t *testing.T) {
+	if _, err := NewMeter(MeterConfig{Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewMeter(MeterConfig{Interval: 1, QuantumWatts: -1}); err == nil {
+		t.Error("negative quantum accepted")
+	}
+	if _, err := NewMeter(MeterConfig{Interval: 1, DropRate: 1}); err == nil {
+		t.Error("drop rate 1 accepted")
+	}
+	if _, err := NewMeter(WattsUpPRO(1)); err != nil {
+		t.Errorf("WattsUpPRO config rejected: %v", err)
+	}
+}
+
+func TestMeterEnergyCloseToExact(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(60, 8, cluster.Util{CPU: 0.9, Mem: 0.4}),
+		cluster.UniformPhase(60, 4, cluster.Util{CPU: 0.2}),
+	}}
+	exact, err := m.ProfileTrace(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eExact, _ := exact.Energy()
+	mt, err := NewMeter(WattsUpPRO(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := mt.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMeter, err := sampled.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(float64(eMeter-eExact)) / float64(eExact)
+	if rel > 0.01 {
+		t.Errorf("meter energy off by %.2f%%", rel*100)
+	}
+	// The meter covers the full window.
+	start, end, _ := sampled.Span()
+	if start != 0 || end != 120 {
+		t.Errorf("meter span [%v, %v], want [0, 120]", start, end)
+	}
+}
+
+func TestMeterDeterministic(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(30, 8, cluster.Util{CPU: 0.7}),
+	}}
+	mt1, _ := NewMeter(WattsUpPRO(7))
+	mt2, _ := NewMeter(WattsUpPRO(7))
+	a, err := mt1.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mt2.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.At(i), b.At(i))
+		}
+	}
+}
+
+func TestMeterQuantisation(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(10, 8, cluster.Util{CPU: 0.5}),
+	}}
+	mt, _ := NewMeter(MeterConfig{Interval: 1, QuantumWatts: 0.1})
+	tr, err := mt.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples() {
+		v := float64(s.Power) * 10
+		if math.Abs(v-math.Round(v)) > 1e-6 {
+			t.Fatalf("sample %v not quantised to 0.1 W", s.Power)
+		}
+	}
+}
+
+func TestMeterDropoutKeepsBoundaries(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(100, 8, cluster.Util{CPU: 0.5}),
+	}}
+	mt, _ := NewMeter(MeterConfig{Interval: 1, DropRate: 0.3, Seed: 3})
+	tr, err := mt.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() >= 101 {
+		t.Errorf("no samples dropped: %d", tr.Len())
+	}
+	if tr.Len() < 40 {
+		t.Errorf("too many samples dropped: %d", tr.Len())
+	}
+	start, end, _ := tr.Span()
+	if start != 0 || end != 100 {
+		t.Errorf("span [%v, %v] lost boundaries", start, end)
+	}
+	// Energy is still within a few percent despite dropout.
+	exact, _ := m.ProfileTrace(lp)
+	eExact, _ := exact.Energy()
+	eDrop, _ := tr.Energy()
+	if rel := math.Abs(float64(eDrop-eExact)) / float64(eExact); rel > 0.02 {
+		t.Errorf("dropout energy error %.2f%%", rel*100)
+	}
+}
+
+func TestFitRecoversLinearModel(t *testing.T) {
+	truth := LinearCoefficients{Base: 150, CPU: 160, Mem: 20, Disk: 6, Net: 5}
+	var obs []Observation
+	for _, u := range CalibrationSweep() {
+		obs = append(obs, Observation{Util: u, Watts: truth.Predict(u)})
+	}
+	got, err := Fit(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, g, w float64) {
+		if math.Abs(g-w) > 1e-6 {
+			t.Errorf("%s = %v, want %v", name, g, w)
+		}
+	}
+	check("base", got.Base, truth.Base)
+	check("cpu", got.CPU, truth.CPU)
+	check("mem", got.Mem, truth.Mem)
+	check("disk", got.Disk, truth.Disk)
+	check("net", got.Net, truth.Net)
+	if rmse := got.RMSE(obs); rmse > 1e-6 {
+		t.Errorf("rmse = %v on exact data", rmse)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	// Degenerate: every observation identical.
+	same := make([]Observation, 10)
+	for i := range same {
+		same[i] = Observation{Util: cluster.Util{CPU: 0.5}, Watts: 100}
+	}
+	if _, err := Fit(same); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestCalibrateModelRoundTrip(t *testing.T) {
+	m := newFireModel(t)
+	m.DisablePSU = true // the DC model is exactly linear, so the fit is exact
+	c, rmse, err := CalibrateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1e-6 {
+		t.Errorf("rmse on linear model = %v", rmse)
+	}
+	wantIdle := m.NodeDC(cluster.Util{})
+	if math.Abs(c.Base-wantIdle) > 1e-6 {
+		t.Errorf("fitted base %v, want %v", c.Base, wantIdle)
+	}
+	// With the PSU curve the model is nonlinear; fit degrades but stays
+	// within a few watts RMS.
+	m.DisablePSU = false
+	_, rmsePSU, err := CalibrateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsePSU <= rmse {
+		t.Error("PSU nonlinearity did not increase RMSE")
+	}
+	if rmsePSU > 10 {
+		t.Errorf("PSU fit RMSE %v W implausibly large", rmsePSU)
+	}
+}
+
+func TestEnergyOfMeasuredWindowMatchesMeanPower(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(300, 8, cluster.Util{CPU: 1, Mem: 0.3, Net: 0.2}),
+	}}
+	mt, _ := NewMeter(WattsUpPRO(11))
+	tr, err := mt.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := tr.Energy()
+	mean, _ := tr.MeanPower()
+	if math.Abs(float64(e)-float64(mean)*300) > 1 {
+		t.Errorf("energy %v inconsistent with mean power %v over 300 s", e, mean)
+	}
+	_ = units.Watts(0)
+}

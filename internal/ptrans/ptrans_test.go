@@ -1,0 +1,132 @@
+package ptrans
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{N: 0, Grid: 1}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Run(Config{N: 8, Grid: 0}); err == nil {
+		t.Error("Grid=0 accepted")
+	}
+	if _, err := Run(Config{N: 10, Grid: 3}); err == nil {
+		t.Error("indivisible N accepted")
+	}
+}
+
+func TestRunSingleRank(t *testing.T) {
+	res, err := Run(Config{N: 32, Grid: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("not verified")
+	}
+	if res.Ranks != 1 {
+		t.Errorf("ranks = %d", res.Ranks)
+	}
+}
+
+func TestRunGrids(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 32, Grid: 2, Seed: 2},
+		{N: 48, Grid: 3, Seed: 3},
+		{N: 64, Grid: 4, Seed: 4},
+	} {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Errorf("%+v: %v", cfg, err)
+			continue
+		}
+		if !res.Verified {
+			t.Errorf("%+v: not verified", cfg)
+		}
+		if float64(res.Rate) <= 0 {
+			t.Errorf("%+v: rate %v", cfg, res.Rate)
+		}
+	}
+}
+
+func TestGeneratorsNotSymmetric(t *testing.T) {
+	// The verification would be vacuous if A were symmetric.
+	if aEntry(1, 3, 5) == aEntry(1, 5, 3) {
+		t.Error("aEntry symmetric")
+	}
+	if aEntry(1, 3, 5) == aEntry(2, 3, 5) {
+		t.Error("aEntry ignores seed")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.Fire(), 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Rate) <= 0 || res.Duration <= 0 {
+		t.Errorf("rate %v duration %v", res.Rate, res.Duration)
+	}
+	if err := res.Profile.Validate(cluster.Fire()); err != nil {
+		t.Fatal(err)
+	}
+	// PTRANS across 10 GbE must sit far below local memory speed.
+	if float64(res.Rate) > 8*cluster.Fire().Interconnect.LinkBps*2 {
+		t.Errorf("rate %v exceeds fabric capacity", res.Rate)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(ModelConfig{}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	bad := DefaultModelConfig(cluster.Fire(), 8)
+	bad.MemFill = 2
+	if _, err := Simulate(bad); err == nil {
+		t.Error("fill > 0.9 accepted")
+	}
+	bad = DefaultModelConfig(cluster.Fire(), 8)
+	bad.LocalFrac = 1.5
+	if _, err := Simulate(bad); err == nil {
+		t.Error("local fraction > 1 accepted")
+	}
+}
+
+func TestSimulateSingleProcIsMemoryBound(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.Testbed(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One process: no fabric traffic; rate is half the memory bandwidth
+	// (read + write pass).
+	want := cluster.Testbed().Node.Memory.BandwidthBps / 2
+	if f := float64(res.Rate); f < 0.9*want || f > 1.1*want {
+		t.Errorf("single-proc rate %v, want ~%v", f, want)
+	}
+}
+
+func TestSimulateNetworkDominatesAtScale(t *testing.T) {
+	// With all 8 Fire nodes exchanging over 10 GbE, the transpose rate is
+	// fabric-bound: well below the single-node memory-bound rate.
+	multi, err := Simulate(DefaultModelConfig(cluster.Fire(), 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 nodes × 1.25 GB/s NIC is the rough exchange ceiling.
+	ceiling := 8 * cluster.Fire().Interconnect.LinkBps * 1.5
+	if float64(multi.Rate) > ceiling {
+		t.Errorf("rate %v above fabric ceiling %v", multi.Rate, ceiling)
+	}
+}
+
+func BenchmarkPTRANSNative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{N: 256, Grid: 2, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rate)/1e9, "GBps")
+	}
+}

@@ -1,0 +1,187 @@
+// Package report renders experiment output: aligned text tables, CSV, and
+// ASCII line charts for the figure reproductions. It is deliberately plain —
+// the harness prints the same rows and series the paper's tables and figures
+// report, and diffing two runs should be possible with standard tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (quoting cells that need
+// it), including the header row.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is an ASCII line chart with a shared x-axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Height int // plot rows; 0 means 16
+	Width  int // plot columns; 0 means 64
+}
+
+// markers assigns one glyph per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart to w: points are scaled into a Height×Width grid,
+// one marker per series, with min/max annotations.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("report: empty chart %q", c.Title)
+	}
+	height, width := c.Height, c.Width
+	if height <= 0 {
+		height = 16
+	}
+	if width <= 0 {
+		width = 64
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("report: series %q has %d points for %d x-values", s.Name, len(s.Y), len(c.X))
+		}
+		for _, v := range s.Y {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	xmin, xmax := c.X[0], c.X[len(c.X)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mk := markers[si%len(markers)]
+		for i, v := range s.Y {
+			col := int((c.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((v-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = mk
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-10.4g%*s\n", strings.Repeat(" ", 11), xmin, width-10, fmt.Sprintf("%.4g", xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%sx: %s   y: %s\n", strings.Repeat(" ", 11), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s%c = %s\n", strings.Repeat(" ", 11), markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

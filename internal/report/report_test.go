@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-longer", "22")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "Name", "alpha", "beta-longer", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Errorf("line count = %d", len(lines))
+	}
+	// Columns align: "Value" column starts at the same offset everywhere.
+	hdr := lines[1]
+	off := strings.Index(hdr, "Value")
+	if !strings.HasPrefix(lines[3][off:], "1") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"A"}}
+	tab.AddRow("x", "extra")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"name", "note"}}
+	tab.AddRow("a", `says "hi", ok`)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\na,\"says \"\"hi\"\", ok\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "T",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "up", Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1, 0}},
+		},
+		Height: 8,
+		Width:  32,
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T", "* = up", "o = down", "x: x   y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from plot")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var sb strings.Builder
+	empty := &Chart{Title: "e"}
+	if err := empty.Render(&sb); err == nil {
+		t.Error("empty chart rendered")
+	}
+	bad := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "s", Y: []float64{1}}},
+	}
+	if err := bad.Render(&sb); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{
+		X:      []float64{1, 2, 3},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5, 5}}},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("flat series lost")
+	}
+}
+
+func TestChartSingleX(t *testing.T) {
+	c := &Chart{
+		X:      []float64{7},
+		Series: []Series{{Name: "pt", Y: []float64{1}}},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package sim is a small discrete-event simulation kernel: a virtual clock,
+// an event queue, and a handful of primitives (resources, processes) that the
+// cluster model builds on.
+//
+// The engine is strictly deterministic: events scheduled for the same time
+// fire in the order they were scheduled (FIFO tie-break via a monotone
+// sequence number), and all randomness flows through seeded sim.RNG streams.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   units.Seconds
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine drives the virtual clock.
+type Engine struct {
+	now    units.Seconds
+	queue  eventQueue
+	seq    uint64
+	events uint64
+	limit  uint64
+}
+
+// NewEngine returns an engine with the clock at zero. The engine refuses to
+// process more than limit events (0 means a default of 50 million), a
+// backstop against accidental infinite event loops.
+func NewEngine(limit uint64) *Engine {
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	return &Engine{limit: limit}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel marks the event dead; it will be skipped when popped.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// ErrPast is returned when an event is scheduled before the current time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute virtual time at.
+func (e *Engine) At(at units.Seconds, fn func()) (Handle, error) {
+	if at < e.now {
+		return Handle{}, fmt.Errorf("%w: %v < now %v", ErrPast, at, e.now)
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// After schedules fn to run delay seconds from now.
+func (e *Engine) After(delay units.Seconds, fn func()) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("%w: negative delay %v", ErrPast, delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Step processes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() (bool, error) {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if e.events >= e.limit {
+			return false, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+		e.events++
+		e.now = ev.at
+		ev.fn()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run processes events until the queue is empty or until the virtual clock
+// would pass until (use a negative value for "no limit"). It returns the
+// number of events processed.
+func (e *Engine) Run(until units.Seconds) (uint64, error) {
+	var n uint64
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if until >= 0 && next.at > until {
+			e.now = until
+			return n, nil
+		}
+		ok, err := e.Step()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if until >= 0 && e.now < until {
+		e.now = until
+	}
+	return n, nil
+}
+
+// RunAll processes every remaining event.
+func (e *Engine) RunAll() (uint64, error) { return e.Run(-1) }
+
+// Pending returns the number of live events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

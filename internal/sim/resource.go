@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/units"
+)
+
+// SharedResource models a capacity-limited device (a disk backend, a network
+// link, a memory controller) under processor-sharing: the aggregate capacity
+// is divided equally among active jobs, optionally capped per job (a single
+// client cannot exceed its own link speed even when the backend is idle).
+//
+// Work is measured in abstract units (bytes, flops); capacity in units per
+// second of virtual time. Completion callbacks fire inside the engine.
+type SharedResource struct {
+	eng       *Engine
+	capacity  float64 // aggregate units/second
+	perJobCap float64 // per-job ceiling; 0 means no ceiling
+	jobs      map[*srJob]struct{}
+	last      units.Seconds
+	pending   Handle
+	doneWork  float64 // total units completed
+	busyTime  float64 // ∫ utilization dt
+}
+
+type srJob struct {
+	remaining float64
+	done      func()
+}
+
+// NewSharedResource creates a resource attached to an engine.
+func NewSharedResource(eng *Engine, capacity, perJobCap float64) (*SharedResource, error) {
+	if capacity <= 0 {
+		return nil, errors.New("sim: resource capacity must be positive")
+	}
+	if perJobCap < 0 {
+		return nil, errors.New("sim: negative per-job cap")
+	}
+	return &SharedResource{
+		eng:       eng,
+		capacity:  capacity,
+		perJobCap: perJobCap,
+		jobs:      make(map[*srJob]struct{}),
+		last:      eng.Now(),
+	}, nil
+}
+
+// rate returns the current per-job service rate.
+func (r *SharedResource) rate() float64 {
+	n := len(r.jobs)
+	if n == 0 {
+		return 0
+	}
+	share := r.capacity / float64(n)
+	if r.perJobCap > 0 && share > r.perJobCap {
+		share = r.perJobCap
+	}
+	return share
+}
+
+// Utilization returns the instantaneous fraction of capacity in use, in [0, 1].
+func (r *SharedResource) Utilization() float64 {
+	total := r.rate() * float64(len(r.jobs))
+	return total / r.capacity
+}
+
+// TotalWorkDone returns the units of work completed so far (including partial
+// progress of in-flight jobs up to the current virtual time).
+func (r *SharedResource) TotalWorkDone() float64 {
+	r.advance()
+	return r.doneWork
+}
+
+// BusySeconds returns ∫ utilization dt, the device-busy time used by energy
+// accounting.
+func (r *SharedResource) BusySeconds() float64 {
+	r.advance()
+	return r.busyTime
+}
+
+// advance applies progress between the last bookkeeping point and now.
+func (r *SharedResource) advance() {
+	now := r.eng.Now()
+	dt := float64(now - r.last)
+	if dt <= 0 {
+		r.last = now
+		return
+	}
+	rate := r.rate()
+	if rate > 0 {
+		for j := range r.jobs {
+			j.remaining -= rate * dt
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		r.doneWork += rate * dt * float64(len(r.jobs))
+		r.busyTime += r.Utilization() * dt
+	}
+	r.last = now
+}
+
+// reschedule cancels any pending completion event and schedules the next one.
+func (r *SharedResource) reschedule() {
+	r.pending.Cancel()
+	rate := r.rate()
+	if rate <= 0 || len(r.jobs) == 0 {
+		return
+	}
+	min := math.Inf(1)
+	for j := range r.jobs {
+		if j.remaining < min {
+			min = j.remaining
+		}
+	}
+	delay := units.Seconds(min / rate)
+	h, err := r.eng.After(delay, r.complete)
+	if err != nil {
+		panic("sim: reschedule failed: " + err.Error())
+	}
+	r.pending = h
+}
+
+// complete fires when at least one job has drained.
+func (r *SharedResource) complete() {
+	r.advance()
+	var finished []*srJob
+	for j := range r.jobs {
+		if j.remaining <= 1e-9 {
+			finished = append(finished, j)
+		}
+	}
+	for _, j := range finished {
+		delete(r.jobs, j)
+	}
+	r.reschedule()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// Submit enqueues amount units of work; done (may be nil) fires at completion.
+func (r *SharedResource) Submit(amount float64, done func()) error {
+	if amount <= 0 {
+		return errors.New("sim: non-positive work amount")
+	}
+	r.advance()
+	j := &srJob{remaining: amount, done: done}
+	r.jobs[j] = struct{}{}
+	r.reschedule()
+	return nil
+}
+
+// Active returns the number of in-flight jobs.
+func (r *SharedResource) Active() int { return len(r.jobs) }
+
+// Capacity returns the aggregate capacity in units per second.
+func (r *SharedResource) Capacity() float64 { return r.capacity }

@@ -1,0 +1,130 @@
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dgemm"
+	"repro/internal/fft"
+	"repro/internal/power"
+	"repro/internal/ptrans"
+	"repro/internal/randomaccess"
+)
+
+// Extended-suite benchmark names (beyond the paper's three).
+const (
+	BenchDGEMM        = "DGEMM"
+	BenchPTRANS       = "PTRANS"
+	BenchRandomAccess = "RandomAccess"
+	BenchFFT          = "FFT"
+)
+
+// ExtendedOrder lists the seven benchmarks of the extended suite in run
+// order — the full HPC Challenge-style coverage the paper's introduction
+// motivates ("there are seven different benchmark tests in the suite"):
+// compute (HPL, DGEMM), memory bandwidth (STREAM), memory latency
+// (RandomAccess), interconnect (PTRANS), mixed compute/all-to-all (FFT)
+// and I/O (IOzone, the paper's own extension beyond HPCC).
+var ExtendedOrder = []string{
+	BenchHPL, BenchDGEMM, BenchSTREAM, BenchPTRANS,
+	BenchRandomAccess, BenchFFT, BenchIOzone,
+}
+
+// RunExtended executes the seven-benchmark suite at one process count.
+// The three paper benchmarks run exactly as in Run; the four additions use
+// their packages' default model configurations.
+func RunExtended(cfg Config) (*Result, error) {
+	base, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model := cfg.PowerModel
+	if model == nil {
+		if model, err = power.NewModel(cfg.Spec); err != nil {
+			return nil, err
+		}
+	}
+	meter, err := power.NewMeter(cfg.Meter)
+	if err != nil {
+		return nil, err
+	}
+
+	extras := make([]BenchmarkRun, 0, 4)
+
+	dg := dgemm.DefaultModelConfig(cfg.Spec, cfg.Procs)
+	dg.Placement = cfg.Placement
+	dgRes, err := dgemm.Simulate(dg)
+	if err != nil {
+		return nil, fmt.Errorf("suite: DGEMM: %w", err)
+	}
+	run, err := measure(model, meter, cfg.Facility, BenchDGEMM, "GFLOPS",
+		float64(dgRes.Perf)/1e9, dgRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	extras = append(extras, run)
+
+	pt := ptrans.DefaultModelConfig(cfg.Spec, cfg.Procs)
+	pt.Placement = cfg.Placement
+	ptRes, err := ptrans.Simulate(pt)
+	if err != nil {
+		return nil, fmt.Errorf("suite: PTRANS: %w", err)
+	}
+	run, err = measure(model, meter, cfg.Facility, BenchPTRANS, "MBPS",
+		float64(ptRes.Rate)/1e6, ptRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	extras = append(extras, run)
+
+	ra := randomaccess.DefaultModelConfig(cfg.Spec, cfg.Procs)
+	ra.Placement = cfg.Placement
+	raRes, err := randomaccess.Simulate(ra)
+	if err != nil {
+		return nil, fmt.Errorf("suite: RandomAccess: %w", err)
+	}
+	run, err = measure(model, meter, cfg.Facility, BenchRandomAccess, "GUPS",
+		raRes.GUPS, raRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	extras = append(extras, run)
+
+	ff := fft.DefaultModelConfig(cfg.Spec, cfg.Procs)
+	ff.Placement = cfg.Placement
+	ffRes, err := fft.Simulate(ff)
+	if err != nil {
+		return nil, fmt.Errorf("suite: FFT: %w", err)
+	}
+	run, err = measure(model, meter, cfg.Facility, BenchFFT, "GFLOPS",
+		float64(ffRes.Perf)/1e9, ffRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	extras = append(extras, run)
+
+	// Reassemble in ExtendedOrder: HPL, DGEMM, STREAM, PTRANS,
+	// RandomAccess, FFT, IOzone.
+	byName := map[string]BenchmarkRun{}
+	for _, b := range base.Runs {
+		byName[b.Measurement.Benchmark] = b
+	}
+	for _, b := range extras {
+		byName[b.Measurement.Benchmark] = b
+	}
+	ordered := make([]BenchmarkRun, 0, len(ExtendedOrder))
+	for _, name := range ExtendedOrder {
+		b, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("suite: missing %s in extended run", name)
+		}
+		ordered = append(ordered, b)
+	}
+	base.Runs = ordered
+	return base, nil
+}
+
+// RunExtendedOn is RunExtended with the default configuration for spec.
+func RunExtendedOn(spec *cluster.Spec, procs int) (*Result, error) {
+	return RunExtended(DefaultConfig(spec, procs))
+}

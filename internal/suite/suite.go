@@ -1,0 +1,285 @@
+// Package suite orchestrates full TGI benchmark-suite runs on simulated
+// clusters: it executes the HPL, STREAM and IOzone models against a machine
+// spec, measures each run with the simulated wall-plug meter, and converts
+// the (performance, power trace) pairs into the core.Measurement tuples the
+// TGI pipeline consumes. It mirrors the paper's experimental procedure:
+// the whole cluster sits behind one meter (Figure 1) and the three
+// benchmarks run back to back at each process count.
+package suite
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hpl"
+	"repro/internal/iozone"
+	"repro/internal/power"
+	"repro/internal/series"
+	"repro/internal/stream"
+	"repro/internal/units"
+)
+
+// Benchmark names as reported in measurements.
+const (
+	BenchHPL    = "HPL"
+	BenchSTREAM = "STREAM"
+	BenchIOzone = "IOzone"
+)
+
+// Tunables collects the benchmark-model knobs a run may override; zero
+// values select each model's defaults.
+type Tunables struct {
+	HPL    *hpl.ModelConfig
+	Stream *stream.ModelConfig
+	IOzone *iozone.ModelConfig
+}
+
+// Config describes one suite run.
+type Config struct {
+	Spec      *cluster.Spec
+	Procs     int
+	Placement cluster.Placement
+	Meter     power.MeterConfig
+	// PowerModel optionally overrides the default power model (ablations).
+	PowerModel *power.Model
+	// Facility, when set, converts the metered IT power to center-wide
+	// power (UPS losses + cooling + fixed overhead) before the efficiency
+	// statistics are taken — the paper's future-work extension of TGI to
+	// "a center-wide view of the energy efficiency".
+	Facility *power.FacilitySpec
+	Tunables Tunables
+}
+
+// DefaultConfig returns the configuration the paper-reproduction sweeps
+// use: cyclic placement and a Watts Up? PRO-class meter.
+func DefaultConfig(spec *cluster.Spec, procs int) Config {
+	return SeededConfig(spec, procs, 17)
+}
+
+// SeededConfig is DefaultConfig with an explicit meter-noise seed base,
+// used by the noise-robustness analysis to rerun the whole pipeline under
+// independent measurement noise.
+func SeededConfig(spec *cluster.Spec, procs int, seedBase uint64) Config {
+	return Config{
+		Spec:      spec,
+		Procs:     procs,
+		Placement: cluster.Cyclic,
+		Meter:     power.WattsUpPRO(uint64(procs)*7919 + seedBase),
+	}
+}
+
+// BenchmarkRun is one benchmark's outcome within a suite run.
+type BenchmarkRun struct {
+	Measurement core.Measurement `json:"measurement"`
+	PeakPower   units.Watts      `json:"peak_power"`
+	Samples     int              `json:"samples"`
+}
+
+// Result is a full suite run at one process count.
+type Result struct {
+	System      string         `json:"system"`
+	Procs       int            `json:"procs"`
+	ActiveNodes int            `json:"active_nodes"`
+	Placement   string         `json:"placement"`
+	Runs        []BenchmarkRun `json:"runs"`
+}
+
+// Measurements extracts the core measurements in run order.
+func (r *Result) Measurements() []core.Measurement {
+	out := make([]core.Measurement, len(r.Runs))
+	for i, b := range r.Runs {
+		out[i] = b.Measurement
+	}
+	return out
+}
+
+// measure converts a load profile into a measurement via the meter,
+// optionally lifting the trace to facility level.
+func measure(model *power.Model, meter *power.Meter, facility *power.FacilitySpec,
+	name, metric string, perf float64, profile *cluster.LoadProfile) (BenchmarkRun, error) {
+	trace, err := meter.Measure(model, profile)
+	if err != nil {
+		return BenchmarkRun{}, fmt.Errorf("suite: metering %s: %w", name, err)
+	}
+	if facility != nil {
+		if trace, err = facility.ApplyTrace(trace); err != nil {
+			return BenchmarkRun{}, fmt.Errorf("suite: facility model for %s: %w", name, err)
+		}
+	}
+	return fromTrace(trace, name, metric, perf, profile.Duration())
+}
+
+// fromTrace builds a BenchmarkRun from an already-sampled trace.
+func fromTrace(trace *series.Trace, name, metric string, perf float64,
+	dur units.Seconds) (BenchmarkRun, error) {
+	energy, err := trace.Energy()
+	if err != nil {
+		return BenchmarkRun{}, fmt.Errorf("suite: integrating %s: %w", name, err)
+	}
+	mean, err := trace.MeanPower()
+	if err != nil {
+		return BenchmarkRun{}, err
+	}
+	peak, err := trace.PeakPower()
+	if err != nil {
+		return BenchmarkRun{}, err
+	}
+	return BenchmarkRun{
+		Measurement: core.Measurement{
+			Benchmark:   name,
+			Metric:      metric,
+			Performance: perf,
+			Power:       mean,
+			Time:        dur,
+			Energy:      energy,
+		},
+		PeakPower: peak,
+		Samples:   trace.Len(),
+	}, nil
+}
+
+// Run executes the three-benchmark suite at one process count.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Spec == nil {
+		return nil, errors.New("suite: nil spec")
+	}
+	model := cfg.PowerModel
+	if model == nil {
+		var err error
+		if model, err = power.NewModel(cfg.Spec); err != nil {
+			return nil, err
+		}
+	}
+	meter, err := power.NewMeter(cfg.Meter)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := cfg.Spec.Distribute(cfg.Procs, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	active := cluster.ActiveNodes(dist)
+
+	res := &Result{
+		System:      cfg.Spec.Name,
+		Procs:       cfg.Procs,
+		ActiveNodes: active,
+		Placement:   cfg.Placement.String(),
+	}
+
+	// HPL.
+	hplCfg := hpl.DefaultModelConfig(cfg.Spec, cfg.Procs)
+	if cfg.Tunables.HPL != nil {
+		hplCfg = *cfg.Tunables.HPL
+	}
+	hplCfg.Placement = cfg.Placement
+	hplRes, err := hpl.Simulate(hplCfg)
+	if err != nil {
+		return nil, fmt.Errorf("suite: HPL: %w", err)
+	}
+	run, err := measure(model, meter, cfg.Facility, BenchHPL, "GFLOPS",
+		float64(hplRes.Perf)/1e9, hplRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = append(res.Runs, run)
+
+	// STREAM.
+	stCfg := stream.DefaultModelConfig(cfg.Spec, cfg.Procs)
+	if cfg.Tunables.Stream != nil {
+		stCfg = *cfg.Tunables.Stream
+	}
+	stCfg.Placement = cfg.Placement
+	stRes, err := stream.Simulate(stCfg)
+	if err != nil {
+		return nil, fmt.Errorf("suite: STREAM: %w", err)
+	}
+	run, err = measure(model, meter, cfg.Facility, BenchSTREAM, "MBPS",
+		float64(stRes.Aggregate)/1e6, stRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = append(res.Runs, run)
+
+	// IOzone: one I/O client per socket's worth of cores (clamped to the
+	// node count) — at 32 of Fire's 128 cores the write test runs 4
+	// clients, so the I/O sweep covers the same 1…8-client range as the
+	// node axis of the paper's Figure 4.
+	perClient := cfg.Spec.Node.CPU.CoresPerSocket
+	ioClients := (cfg.Procs + perClient - 1) / perClient
+	if ioClients > cfg.Spec.Nodes {
+		ioClients = cfg.Spec.Nodes
+	}
+	ioCfg := iozone.DefaultModelConfig(cfg.Spec, ioClients)
+	// Every process contributes a fixed I/O volume (4.5 GB), so the test's
+	// duration scales with the sweep the way the compute benchmarks' do.
+	ioCfg.FileBytesPerNode = 4.5e9 * float64(cfg.Procs) / float64(ioClients)
+	if cfg.Tunables.IOzone != nil {
+		ioCfg = *cfg.Tunables.IOzone
+	}
+	ioCfg.Procs = cfg.Procs
+	ioRes, err := iozone.Simulate(ioCfg)
+	if err != nil {
+		return nil, fmt.Errorf("suite: IOzone: %w", err)
+	}
+	run, err = measure(model, meter, cfg.Facility, BenchIOzone, "MBPS",
+		float64(ioRes.Aggregate)/1e6, ioRes.Profile)
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = append(res.Runs, run)
+
+	return res, nil
+}
+
+// Sweep runs the suite at each process count and returns the results in
+// order — the x-axis of the paper's Figures 5 and 6.
+func Sweep(spec *cluster.Spec, procs []int) ([]*Result, error) {
+	return SweepSeeded(spec, procs, 17)
+}
+
+// SweepSeeded is Sweep under an explicit meter-noise seed base.
+func SweepSeeded(spec *cluster.Spec, procs []int, seedBase uint64) ([]*Result, error) {
+	out := make([]*Result, 0, len(procs))
+	for _, p := range procs {
+		r, err := Run(SeededConfig(spec, p, seedBase))
+		if err != nil {
+			return nil, fmt.Errorf("suite: p=%d: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FireSweep returns the paper's process-count axis on the Fire cluster:
+// one value per node increment, 8…128 in steps of 16 (plus the 8-process
+// starting point).
+func FireSweep() []int {
+	return []int{8, 16, 32, 48, 64, 80, 96, 112, 128}
+}
+
+// SaveJSON writes results to path, pretty-printed.
+func SaveJSON(path string, results []*Result) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadJSON reads results written by SaveJSON.
+func LoadJSON(path string) ([]*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("suite: parsing %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEnergy(t *testing.T) {
+	cases := []struct {
+		p    Watts
+		d    Seconds
+		want Joules
+	}{
+		{100, 10, 1000},
+		{0, 100, 0},
+		{2500, 0.5, 1250},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Energy(c.p, c.d); got != c.want {
+			t.Errorf("Energy(%v, %v) = %v, want %v", c.p, c.d, got, c.want)
+		}
+	}
+}
+
+func TestMeanPower(t *testing.T) {
+	if got := MeanPower(1000, 10); got != 100 {
+		t.Errorf("MeanPower(1000, 10) = %v, want 100", got)
+	}
+	if got := MeanPower(1000, 0); got != 0 {
+		t.Errorf("MeanPower with zero duration = %v, want 0", got)
+	}
+	if got := MeanPower(1000, -5); got != 0 {
+		t.Errorf("MeanPower with negative duration = %v, want 0", got)
+	}
+}
+
+func TestEnergyMeanPowerRoundTrip(t *testing.T) {
+	f := func(p float64, d float64) bool {
+		p = math.Abs(math.Mod(p, 1e6))
+		d = math.Abs(math.Mod(d, 1e6)) + 1e-3
+		e := Energy(Watts(p), Seconds(d))
+		back := MeanPower(e, Seconds(d))
+		return math.Abs(float64(back)-p) <= 1e-9*(1+p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsDuration(t *testing.T) {
+	if got := Seconds(1.5).Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5).Duration() = %v", got)
+	}
+	if got := Seconds(1e30).Duration(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("huge duration did not saturate: %v", got)
+	}
+	if got := Seconds(-1e30).Duration(); got != time.Duration(math.MinInt64) {
+		t.Errorf("huge negative duration did not saturate: %v", got)
+	}
+	if got := FromDuration(2500 * time.Millisecond); got != 2.5 {
+		t.Errorf("FromDuration = %v, want 2.5", got)
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(22900).String(), "22.9 KW"},
+		{Watts(450).String(), "450 W"},
+		{Watts(0).String(), "0 W"},
+		{Watts(-1500).String(), "-1.5 KW"},
+		{FLOPS(8.1e12).String(), "8.1 TFLOPS"},
+		{FLOPS(90e9).String(), "90 GFLOPS"},
+		{BytesPerSec(1.1e9).String(), "1.1 GB/s"},
+		{Bytes(32e9).String(), "32 GB"},
+		{Joules(1.21e9).String(), "1.21 GJ"},
+		{Watts(0.05).String(), "50 mW"},
+		{Watts(2e-5).String(), "20 uW"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestParseSI(t *testing.T) {
+	cases := []struct {
+		in, unit string
+		want     float64
+	}{
+		{"8.1TFLOPS", "FLOPS", 8.1e12},
+		{"8.1 TFLOPS", "FLOPS", 8.1e12},
+		{"22.9 KW", "W", 22900},
+		{"22.9kW", "W", 22900},
+		{"450W", "W", 450},
+		{"1100 MB/s", "B/s", 1.1e9},
+		{"42", "W", 42},
+		{"1e3 W", "W", 1000},
+		{"50 mW", "W", 0.05},
+		{"-3.5 KW", "W", -3500},
+	}
+	for _, c := range cases {
+		got, err := ParseSI(c.in, c.unit)
+		if err != nil {
+			t.Errorf("ParseSI(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("ParseSI(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSIErrors(t *testing.T) {
+	for _, in := range []string{"", "W", "abc", "12 XB/s"} {
+		if _, err := ParseSI(in, "B/s"); err == nil {
+			t.Errorf("ParseSI(%q) succeeded, want error", in)
+		}
+	}
+	if _, err := ParseSI("100 FLOPS", "W"); err == nil {
+		t.Error("unit mismatch not detected")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	w, err := ParseWatts("1.5KW")
+	if err != nil || w != 1500 {
+		t.Errorf("ParseWatts = %v, %v", w, err)
+	}
+	f, err := ParseFLOPS("90 GFLOPS")
+	if err != nil || f != 90e9 {
+		t.Errorf("ParseFLOPS = %v, %v", f, err)
+	}
+	b, err := ParseBytesPerSec("512 MB/s")
+	if err != nil || b != 512e6 {
+		t.Errorf("ParseBytesPerSec = %v, %v", b, err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		v := math.Abs(math.Mod(raw, 1e14))
+		if v < 1e-3 {
+			v += 1
+		}
+		s := Watts(v).String()
+		back, err := ParseWatts(s)
+		if err != nil {
+			return false
+		}
+		// String keeps 4 significant digits.
+		return math.Abs(float64(back)-v) <= 5e-4*v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
