@@ -1,0 +1,25 @@
+# Tier-1 gate and developer conveniences. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: build vet test race fmt-check check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet test race fmt-check

@@ -9,6 +9,17 @@
 //	greenbench -system fire -sweep -o sweep.json      # the paper's axis
 //	greenbench -spec mycluster.json -o mine.json      # user-defined machine
 //	greenbench -native -watts 120 -o host.json        # real run on this host
+//
+// Resilience:
+//
+//	greenbench -system fire -faults plan.json -retries 3 -o fire.json
+//	greenbench -system fire -sweep -o sweep.json              # interrupted…
+//	greenbench -system fire -sweep -o sweep.json -resume      # …picks up here
+//
+// A sweep with -o checkpoints every completed (procs, benchmark) cell to
+// <out>.journal; -resume skips the checkpointed cells, so a resumed sweep
+// produces the identical output file. The journal is removed once the
+// final JSON is safely written.
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/native"
 	"repro/internal/suite"
 	"repro/internal/units"
@@ -50,11 +62,18 @@ func main() {
 	extended := flag.Bool("extended", false, "run the seven-benchmark extended suite")
 	out := flag.String("o", "", "output JSON path (default: stdout summary only)")
 	placement := flag.String("placement", "cyclic", "process placement: cyclic or block")
+	faultsPath := flag.String("faults", "", "JSON fault-plan file to inject (see internal/faults)")
+	retries := flag.Int("retries", 0, "retries per benchmark after an injected failure")
+	timeout := flag.Float64("timeout", 0, "per-benchmark virtual-time limit in seconds (0: none)")
+	resume := flag.Bool("resume", false, "skip (procs, benchmark) cells checkpointed in the journal")
+	journalPath := flag.String("journal", "", "sweep checkpoint journal (default: <out>.journal)")
 	flag.Parse()
 
 	if err := run(options{
 		system: *system, specPath: *specPath, native: *nativeRun, watts: *watts,
 		procs: *procs, sweep: *sweep, extended: *extended, out: *out, placement: *placement,
+		faultsPath: *faultsPath, retries: *retries, timeout: *timeout,
+		resume: *resume, journalPath: *journalPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
@@ -62,15 +81,31 @@ func main() {
 }
 
 type options struct {
-	system    string
-	specPath  string
-	native    bool
-	watts     float64
-	procs     int
-	sweep     bool
-	extended  bool
-	out       string
-	placement string
+	system      string
+	specPath    string
+	native      bool
+	watts       float64
+	procs       int
+	sweep       bool
+	extended    bool
+	out         string
+	placement   string
+	faultsPath  string
+	retries     int
+	timeout     float64
+	resume      bool
+	journalPath string
+}
+
+// retryPolicy translates the CLI knobs into a suite.RetryPolicy. Retries
+// wait through a 30-virtual-second backoff (doubling per retry), the
+// reboot/drain delay of a real campaign.
+func (o options) retryPolicy() suite.RetryPolicy {
+	return suite.RetryPolicy{
+		MaxAttempts: o.retries + 1,
+		Backoff:     units.Seconds(30),
+		Timeout:     units.Seconds(o.timeout),
+	}
 }
 
 func run(o options) error {
@@ -98,11 +133,26 @@ func run(o options) error {
 		return fmt.Errorf("unknown placement %q", placement)
 	}
 
+	var plan *faults.Plan
+	if o.faultsPath != "" {
+		if plan, err = faults.Load(o.faultsPath); err != nil {
+			return err
+		}
+	}
+
 	execute := suite.Run
 	if extended {
 		execute = suite.RunExtended
 	}
+	configure := func(p int) suite.Config {
+		cfg := suite.DefaultConfig(spec, p)
+		cfg.Placement = pl
+		cfg.Faults = plan
+		cfg.Retry = o.retryPolicy()
+		return cfg
+	}
 	var results []*suite.Result
+	var journal *suite.Journal
 	if sweep {
 		axis := suite.FireSweep()
 		if spec.TotalCores() != 128 {
@@ -112,9 +162,32 @@ func run(o options) error {
 				axis = append(axis, spec.TotalCores()*i/8)
 			}
 		}
+		// Checkpoint completed (procs, benchmark) cells so an interrupted
+		// sweep can resume instead of re-simulating finished work.
+		if path := o.journalFile(); path != "" {
+			if journal, err = suite.OpenJournal(path); err != nil {
+				return err
+			}
+			if o.resume && journal.Len() > 0 {
+				fmt.Fprintf(os.Stderr, "resuming: %d cell(s) already in %s\n",
+					journal.Len(), journal.Path())
+			}
+		}
 		for _, p := range axis {
-			cfg := suite.DefaultConfig(spec, p)
-			cfg.Placement = pl
+			cfg := configure(p)
+			if journal != nil {
+				key := func(bench string) string {
+					return suite.CellKey(spec.Name, p, pl.String(), bench)
+				}
+				if o.resume {
+					cfg.Lookup = func(bench string) (suite.BenchmarkRun, bool) {
+						return journal.Lookup(key(bench))
+					}
+				}
+				cfg.OnBenchmark = func(bench string, run suite.BenchmarkRun) error {
+					return journal.Record(key(bench), run)
+				}
+			}
 			r, err := execute(cfg)
 			if err != nil {
 				return err
@@ -125,9 +198,7 @@ func run(o options) error {
 		if procs == 0 {
 			procs = spec.TotalCores()
 		}
-		cfg := suite.DefaultConfig(spec, procs)
-		cfg.Placement = pl
-		r, err := execute(cfg)
+		r, err := execute(configure(procs))
 		if err != nil {
 			return err
 		}
@@ -135,11 +206,29 @@ func run(o options) error {
 	}
 
 	for _, r := range results {
-		fmt.Printf("%s procs=%d placement=%s\n", r.System, r.Procs, r.Placement)
+		header := fmt.Sprintf("%s procs=%d placement=%s", r.System, r.Procs, r.Placement)
+		if r.Degraded {
+			header += "  [DEGRADED]"
+		}
+		fmt.Println(header)
 		for _, b := range r.Runs {
 			m := b.Measurement
-			fmt.Printf("  %-7s perf=%.5g %s  power=%s  time=%s  energy=%s\n",
+			if !b.OK() {
+				fmt.Printf("  %-7s FAILED after %d attempt(s): %s\n",
+					m.Benchmark, b.Retries+1, b.Error)
+				continue
+			}
+			line := fmt.Sprintf("  %-7s perf=%.5g %s  power=%s  time=%s  energy=%s",
 				m.Benchmark, m.Performance, m.Metric, m.Power, m.Time, m.EnergyJoules())
+			if b.Status == suite.StatusRecovered {
+				line += fmt.Sprintf("  [recovered after %d retry(ies), %s wasted]",
+					b.Retries, b.WastedTime)
+			}
+			if b.GapsFilled > 0 || b.OutliersRejected > 0 {
+				line += fmt.Sprintf("  [meter repair: %d gap(s), %d outlier(s)]",
+					b.GapsFilled, b.OutliersRejected)
+			}
+			fmt.Println(line)
 		}
 	}
 	if out != "" {
@@ -148,7 +237,27 @@ func run(o options) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d run(s))\n", out, len(results))
 	}
+	// The sweep completed and its output (if any) is safely on disk: the
+	// journal has served its purpose.
+	if journal != nil {
+		if err := journal.Remove(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// journalFile resolves the sweep journal path: an explicit -journal wins,
+// otherwise it is derived from -o. Without either there is nothing durable
+// to checkpoint against.
+func (o options) journalFile() string {
+	if o.journalPath != "" {
+		return o.journalPath
+	}
+	if o.out != "" {
+		return o.out + ".journal"
+	}
+	return ""
 }
 
 // runNative executes the real suite on the host and writes it in the same

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/suite"
 )
 
@@ -107,6 +110,126 @@ func TestRunWithSpecFile(t *testing.T) {
 	}
 	if rs[0].System != "Testbed" {
 		t.Errorf("system = %s", rs[0].System)
+	}
+}
+
+func TestRunWithFaultPlanRecovers(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	plan := &faults.Plan{
+		Crashes: []faults.Crash{{Benchmark: "HPL", Node: 1, At: 100, Attempt: 0}},
+	}
+	if err := faults.Save(planPath, plan); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	err := run(options{system: "testbed", procs: 4, out: out, placement: "cyclic",
+		faultsPath: planPath, retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Degraded {
+		t.Fatalf("run with one retry degraded: %v", rs[0].Warnings)
+	}
+	if rs[0].Runs[0].Status != suite.StatusRecovered {
+		t.Errorf("HPL = %+v, want recovered", rs[0].Runs[0])
+	}
+	// Without the retry the same plan degrades the run instead of erroring.
+	outDeg := filepath.Join(dir, "deg.json")
+	err = run(options{system: "testbed", procs: 4, out: outDeg, placement: "cyclic",
+		faultsPath: planPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = suite.LoadJSON(outDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Degraded || rs[0].Runs[0].Status != suite.StatusFailed {
+		t.Errorf("retry-less crashed run = %+v, want degraded", rs[0])
+	}
+	if got := len(rs[0].Measurements()); got != 2 {
+		t.Errorf("survivors = %d, want 2", got)
+	}
+}
+
+func TestRunSweepResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	// The uninterrupted sweep is the ground truth.
+	full := filepath.Join(dir, "full.json")
+	if err := run(options{system: "testbed", sweep: true, out: full, placement: "cyclic"}); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(full + ".journal"); !os.IsNotExist(err) {
+		t.Error("journal not removed after a completed sweep")
+	}
+	// Simulate an interrupted sweep: checkpoint the first axis points by
+	// hand, exactly as a killed process would have left them.
+	resumed := filepath.Join(dir, "resumed.json")
+	journal, err := suite.OpenJournal(resumed + ".journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.Testbed()
+	for _, p := range []int{1, 2, 3} { // testbed: 8 cores -> axis 1..8
+		r, err := suite.Run(suite.DefaultConfig(spec, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range r.Runs {
+			key := suite.CellKey(spec.Name, p, "cyclic", b.Measurement.Benchmark)
+			if err := journal.Record(key, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Resume completes the remaining cells and must produce the identical
+	// output file.
+	if err := run(options{system: "testbed", sweep: true, out: resumed,
+		placement: "cyclic", resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Error("resumed sweep output differs from uninterrupted sweep")
+	}
+	if _, err := os.Stat(resumed + ".journal"); !os.IsNotExist(err) {
+		t.Error("journal not removed after the resumed sweep completed")
+	}
+}
+
+func TestRunCorruptInputFiles(t *testing.T) {
+	dir := t.TempDir()
+	badSpec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(badSpec, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{specPath: badSpec, procs: 2, placement: "cyclic"})
+	if err == nil {
+		t.Error("corrupt spec accepted")
+	} else if !strings.Contains(err.Error(), "spec.json") {
+		t.Errorf("spec error does not name the file: %v", err)
+	}
+	badPlan := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(badPlan, []byte(`{"crash_prob": "high"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{system: "testbed", procs: 2, placement: "cyclic", faultsPath: badPlan})
+	if err == nil {
+		t.Error("corrupt fault plan accepted")
+	} else if !strings.Contains(err.Error(), "not a valid fault plan") {
+		t.Errorf("unhelpful fault-plan error: %v", err)
 	}
 }
 

@@ -121,11 +121,25 @@ func run(resultsPath, refPath, schemeName, meanName, weightsArg string, verbose 
 		Headers: []string{"System", "Procs", "TGI"},
 	}
 	for _, r := range results {
-		c, err := core.ComputeAggregated(agg, r.Measurements(), refMs, scheme, weights)
+		var c *core.Components
+		if r.Degraded {
+			// A degraded suite run lost benchmarks to unrecovered faults:
+			// compute the partial TGI over the survivors, with the weights
+			// renormalised (custom weights stay positional over the full
+			// expected list).
+			c, err = core.ComputePartialAggregated(agg, r.Measurements(), refMs,
+				scheme, weights, r.Benchmarks())
+		} else {
+			c, err = core.ComputeAggregated(agg, r.Measurements(), refMs, scheme, weights)
+		}
 		if err != nil {
 			return fmt.Errorf("%s procs=%d: %w", r.System, r.Procs, err)
 		}
-		t.AddRow(r.System, fmt.Sprintf("%d", r.Procs), fmt.Sprintf("%.4f", c.TGI))
+		tgiCell := fmt.Sprintf("%.4f", c.TGI)
+		if c.Degraded {
+			tgiCell += fmt.Sprintf(" (degraded: missing %s)", strings.Join(c.Missing, ", "))
+		}
+		t.AddRow(r.System, fmt.Sprintf("%d", r.Procs), tgiCell)
 		if verbose {
 			for i, b := range c.Benchmarks {
 				t.AddRow("  "+b, "",

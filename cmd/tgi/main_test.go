@@ -1,11 +1,14 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/suite"
 )
 
@@ -95,6 +98,69 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(p, multi, "am", "arithmetic", "", false); err == nil {
 		t.Error("multi-run reference accepted")
+	}
+}
+
+func TestRunDegradedResultsGetPartialTGI(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	writeRun(t, cluster.Testbed(), 8, refPath)
+	// A run whose STREAM benchmark died without retries: tgi must fall back
+	// to the partial TGI over the survivors instead of erroring out.
+	cfg := suite.DefaultConfig(cluster.Testbed(), 4)
+	cfg.Faults = &faults.Plan{
+		Crashes: []faults.Crash{{Benchmark: "STREAM", Node: 0, At: 50, Attempt: 0}},
+	}
+	r, err := suite.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded {
+		t.Fatal("fixture run not degraded")
+	}
+	degPath := filepath.Join(dir, "deg.json")
+	if err := suite.SaveJSON(degPath, []*suite.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(degPath, refPath, "am", "arithmetic", "", true); err != nil {
+		t.Errorf("degraded results rejected: %v", err)
+	}
+	// Custom weights stay positional over the full three-benchmark list.
+	if err := run(degPath, refPath, "custom", "arithmetic", "0.5,0.3,0.2", false); err != nil {
+		t.Errorf("custom weights over degraded results: %v", err)
+	}
+}
+
+func TestRunCorruptResultsFile(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	writeRun(t, cluster.Testbed(), 4, refPath)
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`[{"system": "fire", "runs": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(corrupt, refPath, "am", "arithmetic", "", false)
+	if err == nil {
+		t.Fatal("truncated results file accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "corrupt.json") || !strings.Contains(msg, "malformed JSON") {
+		t.Errorf("unhelpful truncation error: %v", err)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error is not one line: %q", msg)
+	}
+	// Wrong-type damage gets a field-level description.
+	wrongType := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrongType, []byte(`[{"system": 42}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(wrongType, refPath, "am", "arithmetic", "", false)
+	if err == nil {
+		t.Fatal("type-damaged results file accepted")
+	}
+	if !strings.Contains(err.Error(), "system") {
+		t.Errorf("type error does not name the field: %v", err)
 	}
 }
 

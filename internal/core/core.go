@@ -208,6 +208,11 @@ type Components struct {
 	Weights    []float64 // normalised
 	TGI        float64   // Equation 4
 	Scheme     Scheme
+	// Degraded marks a partial-suite evaluation: the TGI covers only the
+	// benchmarks listed in Benchmarks, with weights renormalised over the
+	// survivors; Missing names the benchmarks it no longer covers.
+	Degraded bool
+	Missing  []string
 }
 
 // Compute evaluates TGI for a suite of measurements against the reference

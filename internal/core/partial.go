@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Partial-suite TGI: when a resilient suite run loses a benchmark to an
+// unrecovered fault, the metric is still well defined over the surviving
+// benchmarks — the weighting factors of Equation 4 are simply renormalised
+// over the survivors (Σ W_i = 1 holds again) and the result is flagged as
+// degraded instead of failing the whole evaluation. A degraded TGI is an
+// approximation of the full-suite TGI, not a substitute: Components.Missing
+// says exactly which benchmarks it no longer covers.
+
+// ComputePartial evaluates TGI over the measurements that survived a
+// degraded suite run. expected is the full benchmark list the suite was
+// supposed to produce, in run order; test holds the survivors. Weights are
+// derived by the scheme over the survivors only (renormalised to sum to
+// one); for Custom, custom must carry one weight per *expected* benchmark
+// and the survivors' entries are selected before normalisation. The
+// returned Components has Degraded set and Missing populated when any
+// expected benchmark is absent.
+func ComputePartial(test, ref []Measurement, s Scheme, custom []float64, expected []string) (*Components, error) {
+	return ComputePartialAggregated(Arithmetic, test, ref, s, custom, expected)
+}
+
+// ComputePartialAggregated is ComputePartial with a selectable aggregation
+// mean.
+func ComputePartialAggregated(a Aggregator, test, ref []Measurement, s Scheme, custom []float64, expected []string) (*Components, error) {
+	if len(expected) == 0 {
+		return nil, errors.New("core: partial TGI needs the expected benchmark list")
+	}
+	if s == Custom && len(custom) != len(expected) {
+		return nil, fmt.Errorf("core: %d custom weights for %d expected benchmarks", len(custom), len(expected))
+	}
+	pos := make(map[string]int, len(expected))
+	for i, name := range expected {
+		if _, dup := pos[name]; dup {
+			return nil, fmt.Errorf("core: duplicate expected benchmark %q", name)
+		}
+		pos[name] = i
+	}
+	have := make(map[string]bool, len(test))
+	var subCustom []float64
+	for _, m := range test {
+		i, ok := pos[m.Benchmark]
+		if !ok {
+			return nil, fmt.Errorf("core: measurement %q not in the expected benchmark list", m.Benchmark)
+		}
+		have[m.Benchmark] = true
+		if s == Custom {
+			subCustom = append(subCustom, custom[i])
+		}
+	}
+	var missing []string
+	for _, name := range expected {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(test) == 0 {
+		return nil, fmt.Errorf("core: no surviving measurements (all %d benchmarks failed)", len(expected))
+	}
+	c, err := ComputeAggregated(a, test, ref, s, subCustom)
+	if err != nil {
+		return nil, err
+	}
+	c.Degraded = len(missing) > 0
+	c.Missing = missing
+	return c, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// partialFixture is a three-benchmark suite with easy round numbers:
+// REE(HPL)=2, REE(STREAM)=4, REE(IOzone)=1 against a unit-efficiency
+// reference.
+func partialFixture() (test, ref []Measurement) {
+	ref = []Measurement{
+		{Benchmark: "HPL", Metric: "GFLOPS", Performance: 100, Power: 100, Time: 100},
+		{Benchmark: "STREAM", Metric: "MBPS", Performance: 200, Power: 200, Time: 50},
+		{Benchmark: "IOzone", Metric: "MBPS", Performance: 50, Power: 50, Time: 200},
+	}
+	test = []Measurement{
+		{Benchmark: "HPL", Metric: "GFLOPS", Performance: 200, Power: 100, Time: 80},
+		{Benchmark: "STREAM", Metric: "MBPS", Performance: 400, Power: 100, Time: 40},
+		{Benchmark: "IOzone", Metric: "MBPS", Performance: 100, Power: 100, Time: 100},
+	}
+	return test, ref
+}
+
+var expectedThree = []string{"HPL", "STREAM", "IOzone"}
+
+func TestComputePartialFullSuiteMatchesCompute(t *testing.T) {
+	test, ref := partialFixture()
+	full, err := Compute(test, ref, ArithmeticMean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := ComputePartial(test, ref, ArithmeticMean, nil, expectedThree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Degraded || part.Missing != nil {
+		t.Errorf("full suite flagged degraded: %+v", part)
+	}
+	if part.TGI != full.TGI {
+		t.Errorf("partial TGI %v != full %v", part.TGI, full.TGI)
+	}
+}
+
+func TestComputePartialRenormalisesWeights(t *testing.T) {
+	test, ref := partialFixture()
+	cases := []struct {
+		name    string
+		scheme  Scheme
+		custom  []float64
+		wantTGI float64
+	}{
+		// Survivors HPL (REE 2) and IOzone (REE 1); STREAM lost.
+		{name: "arithmetic", scheme: ArithmeticMean, wantTGI: 0.5*2 + 0.5*1},
+		// Times 80 and 100 -> weights 80/180, 100/180.
+		{name: "time", scheme: TimeWeighted, wantTGI: (80.0*2 + 100.0*1) / 180},
+		// Powers are equal -> same as arithmetic.
+		{name: "power", scheme: PowerWeighted, wantTGI: 1.5},
+		// Custom weights are positional over the EXPECTED list (0.5, 0.3,
+		// 0.2): survivors take 0.5 and 0.2, renormalised to 5/7 and 2/7.
+		{name: "custom", scheme: Custom, custom: []float64{0.5, 0.3, 0.2},
+			wantTGI: (0.5*2 + 0.2*1) / 0.7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			survivors := []Measurement{test[0], test[2]} // STREAM failed
+			c, err := ComputePartial(survivors, ref, tc.scheme, tc.custom, expectedThree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Degraded {
+				t.Error("Degraded not set")
+			}
+			if len(c.Missing) != 1 || c.Missing[0] != "STREAM" {
+				t.Errorf("Missing = %v, want [STREAM]", c.Missing)
+			}
+			var sum float64
+			for _, w := range c.Weights {
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("weights sum to %v, want 1", sum)
+			}
+			if math.Abs(c.TGI-tc.wantTGI) > 1e-12 {
+				t.Errorf("TGI = %v, want %v", c.TGI, tc.wantTGI)
+			}
+		})
+	}
+}
+
+func TestComputePartialErrors(t *testing.T) {
+	test, ref := partialFixture()
+	if _, err := ComputePartial(test, ref, ArithmeticMean, nil, nil); err == nil {
+		t.Error("empty expected list accepted")
+	}
+	if _, err := ComputePartial(nil, ref, ArithmeticMean, nil, expectedThree); err == nil {
+		t.Error("zero survivors accepted")
+	} else if !strings.Contains(err.Error(), "all 3 benchmarks failed") {
+		t.Errorf("unhelpful all-failed error: %v", err)
+	}
+	// A survivor not in the expected list is a caller bug, not degradation.
+	rogue := []Measurement{{Benchmark: "DGEMM", Metric: "GFLOPS", Performance: 1, Power: 1, Time: 1}}
+	if _, err := ComputePartial(rogue, ref, ArithmeticMean, nil, expectedThree); err == nil {
+		t.Error("unexpected benchmark accepted")
+	}
+	// Custom weights must cover the expected list, not the survivors.
+	if _, err := ComputePartial(test[:2], ref, Custom, []float64{0.5, 0.5}, expectedThree); err == nil {
+		t.Error("short custom weight vector accepted")
+	}
+	if _, err := ComputePartial(test, ref, ArithmeticMean, nil,
+		[]string{"HPL", "HPL", "IOzone"}); err == nil {
+		t.Error("duplicate expected benchmark accepted")
+	}
+}

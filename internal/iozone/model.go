@@ -26,6 +26,10 @@ type ModelConfig struct {
 	// ClientOverhead is the fraction of per-client protocol overhead
 	// (metadata round trips, commit barriers) reducing effective rate.
 	ClientOverhead float64
+	// EventLimit caps the discrete-event simulation's event budget (0 uses
+	// the engine default). The resilient suite runner sets it to bound a
+	// runaway benchmark; exceeding it surfaces as sim.ErrEventLimit.
+	EventLimit uint64
 }
 
 // DefaultModelConfig returns the configuration used by the paper
@@ -84,7 +88,7 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 	shared := cfg.Spec.Storage.AggregateBps > 0
 	var makespan float64
 	if shared {
-		eng := sim.NewEngine(0)
+		eng := sim.NewEngine(cfg.EventLimit)
 		be, err := storage.NewBackend(eng, cfg.Spec.Storage.AggregateBps, cfg.Spec.Storage.PerClientBps)
 		if err != nil {
 			return nil, err

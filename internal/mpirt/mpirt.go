@@ -43,6 +43,48 @@ type World struct {
 	bytes   atomic.Int64 // total payload bytes sent, all communicators
 	msgs    atomic.Int64
 	chanCap int
+
+	// Crash/abort path: when a rank dies (error return, panic, or explicit
+	// Abort), the world is poisoned so peers blocked in Recv or a full
+	// Send unblock with ErrAborted instead of deadlocking.
+	done      chan struct{}
+	abortOnce sync.Once
+	abortInfo atomic.Pointer[abortCause]
+}
+
+type abortCause struct {
+	rank int
+	err  error
+}
+
+// ErrAborted is returned (wrapped) by communication calls whose world was
+// poisoned by a crashed rank.
+var ErrAborted = errors.New("mpirt: world aborted")
+
+// abort poisons the world. The first caller wins; later aborts are no-ops.
+func (w *World) abort(rank int, cause error) {
+	w.abortOnce.Do(func() {
+		w.abortInfo.Store(&abortCause{rank: rank, err: cause})
+		close(w.done)
+	})
+}
+
+// abortErr describes why the world died, wrapping ErrAborted.
+func (w *World) abortErr() error {
+	if info := w.abortInfo.Load(); info != nil {
+		return fmt.Errorf("%w by rank %d: %v", ErrAborted, info.rank, info.err)
+	}
+	return ErrAborted
+}
+
+// Abort simulates this rank crashing: every peer blocked in (or later
+// entering) a communication call fails with ErrAborted rather than
+// deadlocking — MPI_Abort semantics for the miniature runtime.
+func (c *Comm) Abort(cause error) {
+	if cause == nil {
+		cause = errors.New("aborted")
+	}
+	c.world.abort(c.members[c.rank], cause)
 }
 
 // Comm is one rank's handle on a communicator.
@@ -72,7 +114,8 @@ func Run(n int, fn func(c *Comm) error) error {
 	if n <= 0 {
 		return errors.New("mpirt: world size must be positive")
 	}
-	w := &World{size: n, inbox: make([]chan message, n), pending: make([][]message, n), chanCap: 4 * n}
+	w := &World{size: n, inbox: make([]chan message, n), pending: make([][]message, n),
+		chanCap: 4 * n, done: make(chan struct{})}
 	if w.chanCap < 64 {
 		w.chanCap = 64
 	}
@@ -93,6 +136,12 @@ func Run(n int, fn func(c *Comm) error) error {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[r] = fmt.Errorf("mpirt: rank %d panicked: %v", r, p)
+				}
+				// A dead rank can never again feed its peers: poison the
+				// world so anyone blocked on it errors out instead of
+				// deadlocking the whole run.
+				if errs[r] != nil {
+					w.abort(r, errs[r])
 				}
 			}()
 			c := &Comm{world: w, id: 1, rank: r, members: members}
@@ -143,8 +192,21 @@ func (c *Comm) send(dst, tag int, data []float64) error {
 	copy(cp, data)
 	c.world.bytes.Add(int64(8 * len(data)))
 	c.world.msgs.Add(1)
-	c.world.inbox[c.members[dst]] <- message{commID: c.id, src: c.rank, tag: tag, data: cp}
-	return nil
+	m := message{commID: c.id, src: c.rank, tag: tag, data: cp}
+	box := c.world.inbox[c.members[dst]]
+	// Prefer delivery while there is buffer space; only a blocked send
+	// consults the abort channel, so healthy runs are unaffected.
+	select {
+	case box <- m:
+		return nil
+	default:
+	}
+	select {
+	case box <- m:
+		return nil
+	case <-c.world.done:
+		return c.world.abortErr()
+	}
 }
 
 // Recv blocks until a message matching (src, tag) on this communicator
@@ -178,7 +240,19 @@ func (c *Comm) Recv(src, tag int) (data []float64, fromRank, gotTag int, err err
 		}
 	}
 	for {
-		m := <-c.world.inbox[wr]
+		var m message
+		// Drain messages already delivered before consulting the abort
+		// channel, so an abort racing with in-flight traffic does not eat
+		// receivable messages.
+		select {
+		case m = <-c.world.inbox[wr]:
+		default:
+			select {
+			case m = <-c.world.inbox[wr]:
+			case <-c.world.done:
+				return nil, 0, 0, c.world.abortErr()
+			}
+		}
 		if match(m) {
 			return m.data, m.src, m.tag, nil
 		}

@@ -566,6 +566,89 @@ func TestSendrecv(t *testing.T) {
 	}
 }
 
+// TestCrashedRankUnblocksPeers simulates a node crash mid-run: one rank
+// aborts while its peers sit inside a collective that can never complete.
+// The peers must return ErrAborted instead of deadlocking.
+func TestCrashedRankUnblocksPeers(t *testing.T) {
+	crash := errors.New("simulated node crash")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Abort(crash)
+			return crash
+		}
+		// Without rank 2 this barrier cannot complete; the abort must
+		// unblock everyone with an error.
+		if err := c.Barrier(); err == nil {
+			return errors.New("barrier completed without rank 2")
+		} else if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("barrier err = %v, want ErrAborted", err)
+		}
+		// The world stays poisoned: later calls fail fast too.
+		if _, _, _, err := c.Recv(AnySource, AnyTag); !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("recv after abort err = %v, want ErrAborted", err)
+		}
+		return nil
+	})
+	var errs *Errs
+	if !errors.As(err, &errs) {
+		t.Fatalf("err = %v, want *Errs", err)
+	}
+	if len(errs.ByRank) != 1 || !errors.Is(errs.ByRank[2], crash) {
+		t.Errorf("ByRank = %v, want only rank 2's crash", errs.ByRank)
+	}
+}
+
+// TestPanickedRankUnblocksPeers covers the implicit abort: a rank that
+// panics (or returns an error) poisons the world on its way out, so peers
+// blocked in Recv do not deadlock.
+func TestPanickedRankUnblocksPeers(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaboom mid-benchmark")
+		}
+		// Rank 1 never sends: only the abort can unblock this receive.
+		if _, _, _, err := c.Recv(1, 0); !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("recv err = %v, want ErrAborted", err)
+		}
+		return nil
+	})
+	var errs *Errs
+	if !errors.As(err, &errs) {
+		t.Fatalf("err = %v, want *Errs", err)
+	}
+	if len(errs.ByRank) != 1 || errs.ByRank[1] == nil {
+		t.Errorf("ByRank = %v, want only rank 1's panic", errs.ByRank)
+	}
+}
+
+// TestAbortDoesNotEatDeliveredMessages: a message already in flight when the
+// world aborts must still be receivable — the abort only breaks waits that
+// could never finish.
+func TestAbortDoesNotEatDeliveredMessages(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 3, []float64{7}); err != nil {
+				return err
+			}
+			c.Abort(errors.New("late crash"))
+			return nil
+		}
+		// Wait until the abort has landed, then receive the earlier message.
+		<-c.world.done
+		data, _, _, err := c.Recv(0, 3)
+		if err != nil {
+			return fmt.Errorf("delivered message lost to abort: %v", err)
+		}
+		if data[0] != 7 {
+			return fmt.Errorf("payload = %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCollectiveFuzz drives a long pseudo-random schedule of mixed
 // collectives on the world communicator and two sub-communicators; any
 // tag-accounting or routing bug shows up as a hang (caught by the test

@@ -161,6 +161,8 @@ type MeterConfig struct {
 	NoiseStdDev  float64       // gauge noise, standard deviation in watts
 	Seed         uint64        // deterministic noise stream
 	DropRate     float64       // probability a sample is lost (failure injection)
+	GlitchRate   float64       // probability a sample carries a glitch spike (failure injection)
+	GlitchWatts  float64       // glitch spike magnitude, standard deviation in watts
 }
 
 // WattsUpPRO returns the configuration matching the meter the paper used.
@@ -183,6 +185,12 @@ func NewMeter(cfg MeterConfig) (*Meter, error) {
 	}
 	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
 		return nil, fmt.Errorf("power: drop rate %v outside [0, 1)", cfg.DropRate)
+	}
+	if cfg.GlitchRate < 0 || cfg.GlitchRate >= 1 {
+		return nil, fmt.Errorf("power: glitch rate %v outside [0, 1)", cfg.GlitchRate)
+	}
+	if cfg.GlitchWatts < 0 {
+		return nil, fmt.Errorf("power: negative glitch magnitude %v", cfg.GlitchWatts)
 	}
 	return &Meter{cfg: cfg}, nil
 }
@@ -219,6 +227,12 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 		v := float64(p)
 		if mt.cfg.NoiseStdDev > 0 {
 			v += rng.NormAt(0, mt.cfg.NoiseStdDev)
+		}
+		// Glitches (failure injection): an occasional mis-read perturbs the
+		// sample by a large excursion. Guarded so a glitch-free meter
+		// consumes exactly the seed noise stream.
+		if mt.cfg.GlitchRate > 0 && rng.Float64() < mt.cfg.GlitchRate {
+			v += rng.NormAt(0, mt.cfg.GlitchWatts)
 		}
 		if q := mt.cfg.QuantumWatts; q > 0 {
 			v = float64(int64(v/q+0.5)) * q

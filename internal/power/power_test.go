@@ -284,6 +284,64 @@ func TestMeterDropoutKeepsBoundaries(t *testing.T) {
 	}
 }
 
+func TestMeterGlitchConfig(t *testing.T) {
+	if _, err := NewMeter(MeterConfig{Interval: 1, GlitchRate: 1}); err == nil {
+		t.Error("glitch rate 1 accepted")
+	}
+	if _, err := NewMeter(MeterConfig{Interval: 1, GlitchRate: 0.1, GlitchWatts: -5}); err == nil {
+		t.Error("negative glitch magnitude accepted")
+	}
+}
+
+func TestMeterGlitchesPerturbSamples(t *testing.T) {
+	m := newFireModel(t)
+	lp := &cluster.LoadProfile{Phases: []cluster.Phase{
+		cluster.UniformPhase(200, 8, cluster.Util{CPU: 0.5}),
+	}}
+	clean := WattsUpPRO(11)
+	glitchy := clean
+	glitchy.GlitchRate = 0.05
+	glitchy.GlitchWatts = 60
+	mtClean, _ := NewMeter(clean)
+	mtGlitchy, _ := NewMeter(glitchy)
+	a, err := mtClean.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mtGlitchy.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("glitches changed sample count: %d vs %d", a.Len(), b.Len())
+	}
+	// With a 60 W spike stddev at 5% rate, some samples must differ from
+	// the clean trace by far more than the 0.5 W gauge noise ever could.
+	big := 0
+	for i := 0; i < a.Len(); i++ {
+		if math.Abs(float64(a.At(i).Power-b.At(i).Power)) > 10 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("no glitched samples observed at 5% rate over 200 samples")
+	}
+	if big > a.Len()/2 {
+		t.Errorf("%d of %d samples glitched at 5%% rate", big, a.Len())
+	}
+	// Determinism: the same glitchy config reproduces the same trace.
+	mtAgain, _ := NewMeter(glitchy)
+	c, err := mtAgain.Measure(m, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.At(i) != c.At(i) {
+			t.Fatalf("glitchy meter not deterministic at sample %d", i)
+		}
+	}
+}
+
 func TestFitRecoversLinearModel(t *testing.T) {
 	truth := LinearCoefficients{Base: 150, CPU: 160, Mem: 20, Disk: 6, Net: 5}
 	var obs []Observation

@@ -1,0 +1,152 @@
+package series
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// flatTrace builds an n-sample 1 Hz trace at constant power with a little
+// deterministic ripple so the robust noise estimate is nonzero.
+func flatTrace(t *testing.T, n int, base float64) *Trace {
+	t.Helper()
+	tr := New(n)
+	for i := 0; i < n; i++ {
+		ripple := 0.2 * math.Sin(float64(i))
+		if err := tr.Append(units.Seconds(i), units.Watts(base+ripple)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestRepairRejectsGlitch(t *testing.T) {
+	tr := flatTrace(t, 60, 250)
+	// Inject a 80 W spike at sample 30 — far outside the 0.2 W ripple.
+	tr.samples[30].Power += 80
+	out, rep, err := tr.Repair(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutliersRejected != 1 {
+		t.Errorf("OutliersRejected = %d, want 1", rep.OutliersRejected)
+	}
+	if rep.GapsFilled != 0 {
+		t.Errorf("GapsFilled = %d, want 0", rep.GapsFilled)
+	}
+	got := float64(out.At(30).Power)
+	want := 0.5 * float64(tr.At(29).Power+tr.At(31).Power)
+	if math.Abs(got-want) > 0.5 {
+		t.Errorf("repaired sample = %v, want ≈%v", got, want)
+	}
+	if out.Len() != tr.Len() {
+		t.Errorf("repair changed sample count: %d vs %d", out.Len(), tr.Len())
+	}
+}
+
+func TestRepairPreservesLoadStep(t *testing.T) {
+	// A genuine load step: 200 W for 30 s, then 300 W for 30 s. The step
+	// samples disagree with one neighbour but agree with the other — the
+	// neighbour-agreement test must leave them alone.
+	tr := New(60)
+	for i := 0; i < 60; i++ {
+		p := 200.0
+		if i >= 30 {
+			p = 300
+		}
+		p += 0.2 * math.Sin(float64(i))
+		if err := tr.Append(units.Seconds(i), units.Watts(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, rep, err := tr.Repair(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutliersRejected != 0 {
+		t.Errorf("load step flagged as %d outlier(s)", rep.OutliersRejected)
+	}
+	for i := 0; i < out.Len(); i++ {
+		if out.At(i).Power != tr.At(i).Power {
+			t.Fatalf("sample %d changed: %v -> %v", i, tr.At(i).Power, out.At(i).Power)
+		}
+	}
+}
+
+func TestRepairFillsGaps(t *testing.T) {
+	tr := flatTrace(t, 60, 250)
+	// Drop three samples: one isolated, two adjacent.
+	holed := tr.DropSamples(10, 40, 41)
+	out, rep, err := holed.Repair(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GapsFilled != 3 {
+		t.Errorf("GapsFilled = %d, want 3", rep.GapsFilled)
+	}
+	if out.Len() != tr.Len() {
+		t.Errorf("repaired length %d, want %d", out.Len(), tr.Len())
+	}
+	// The filled samples sit on the meter cadence and interpolate their
+	// neighbours.
+	for i := 0; i < out.Len(); i++ {
+		if out.At(i).At != units.Seconds(i) {
+			t.Fatalf("sample %d at t=%v, want %v", i, out.At(i).At, units.Seconds(i))
+		}
+	}
+	filled := float64(out.At(10).Power)
+	want := 0.5 * float64(tr.At(9).Power+tr.At(11).Power)
+	if math.Abs(filled-want) > 1e-9 {
+		t.Errorf("filled sample = %v, want %v", filled, want)
+	}
+}
+
+func TestRepairBoundariesUntouched(t *testing.T) {
+	tr := flatTrace(t, 20, 250)
+	// Even absurd boundary values survive: the trace must keep spanning the
+	// benchmark window exactly.
+	tr.samples[0].Power = 1000
+	tr.samples[19].Power = 0
+	out, rep, err := tr.Repair(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutliersRejected != 0 {
+		t.Errorf("boundary samples rejected: %+v", rep)
+	}
+	if out.At(0).Power != 1000 || out.At(out.Len()-1).Power != 0 {
+		t.Error("boundary samples modified")
+	}
+}
+
+func TestRepairCleanTraceIsIdentity(t *testing.T) {
+	tr := flatTrace(t, 60, 250)
+	out, rep, err := tr.Repair(1, 0) // sigma 0 -> default 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GapsFilled != 0 || rep.OutliersRejected != 0 {
+		t.Errorf("clean trace repaired: %+v", rep)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if out.At(i) != tr.At(i) {
+			t.Fatalf("sample %d changed", i)
+		}
+	}
+}
+
+func TestRepairEdgeCases(t *testing.T) {
+	if _, _, err := flatTrace(t, 10, 250).Repair(0, 6); err == nil {
+		t.Error("non-positive interval accepted")
+	}
+	// Tiny traces come back unchanged.
+	tiny := flatTrace(t, 2, 250)
+	out, rep, err := tiny.Repair(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || rep.GapsFilled != 0 || rep.OutliersRejected != 0 {
+		t.Errorf("tiny trace mangled: len %d, report %+v", out.Len(), rep)
+	}
+}

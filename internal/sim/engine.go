@@ -79,6 +79,12 @@ func (h Handle) Cancel() {
 // ErrPast is returned when an event is scheduled before the current time.
 var ErrPast = errors.New("sim: event scheduled in the past")
 
+// ErrEventLimit is returned (wrapped) when the engine exhausts its event
+// budget. Callers that impose a deliberate budget — the suite runner's
+// per-benchmark timeout — detect it with errors.Is and treat the run as
+// timed out rather than broken.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
 // At schedules fn to run at absolute virtual time at.
 func (e *Engine) At(at units.Seconds, fn func()) (Handle, error) {
 	if at < e.now {
@@ -106,7 +112,7 @@ func (e *Engine) Step() (bool, error) {
 			continue
 		}
 		if e.events >= e.limit {
-			return false, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+			return false, fmt.Errorf("%w: limit %d at t=%v", ErrEventLimit, e.limit, e.now)
 		}
 		e.events++
 		e.now = ev.at

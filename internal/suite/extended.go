@@ -1,12 +1,9 @@
 package suite
 
 import (
-	"fmt"
-
 	"repro/internal/cluster"
 	"repro/internal/dgemm"
 	"repro/internal/fft"
-	"repro/internal/power"
 	"repro/internal/ptrans"
 	"repro/internal/randomaccess"
 )
@@ -30,98 +27,87 @@ var ExtendedOrder = []string{
 	BenchRandomAccess, BenchFFT, BenchIOzone,
 }
 
+// extraSteps returns the four benchmarks beyond the paper's three, using
+// their packages' default model configurations.
+func extraSteps(cfg *Config) []benchStep {
+	return []benchStep{
+		{
+			name:   BenchDGEMM,
+			metric: "GFLOPS",
+			simulate: func(spec *cluster.Spec) (simulated, error) {
+				dg := dgemm.DefaultModelConfig(spec, cfg.Procs)
+				dg.Placement = cfg.Placement
+				res, err := dgemm.Simulate(dg)
+				if err != nil {
+					return simulated{}, err
+				}
+				return simulated{perf: float64(res.Perf) / 1e9, profile: res.Profile}, nil
+			},
+		},
+		{
+			name:   BenchPTRANS,
+			metric: "MBPS",
+			simulate: func(spec *cluster.Spec) (simulated, error) {
+				pt := ptrans.DefaultModelConfig(spec, cfg.Procs)
+				pt.Placement = cfg.Placement
+				res, err := ptrans.Simulate(pt)
+				if err != nil {
+					return simulated{}, err
+				}
+				return simulated{perf: float64(res.Rate) / 1e6, profile: res.Profile}, nil
+			},
+		},
+		{
+			name:   BenchRandomAccess,
+			metric: "GUPS",
+			simulate: func(spec *cluster.Spec) (simulated, error) {
+				ra := randomaccess.DefaultModelConfig(spec, cfg.Procs)
+				ra.Placement = cfg.Placement
+				res, err := randomaccess.Simulate(ra)
+				if err != nil {
+					return simulated{}, err
+				}
+				return simulated{perf: res.GUPS, profile: res.Profile}, nil
+			},
+		},
+		{
+			name:   BenchFFT,
+			metric: "GFLOPS",
+			simulate: func(spec *cluster.Spec) (simulated, error) {
+				ff := fft.DefaultModelConfig(spec, cfg.Procs)
+				ff.Placement = cfg.Placement
+				res, err := fft.Simulate(ff)
+				if err != nil {
+					return simulated{}, err
+				}
+				return simulated{perf: float64(res.Perf) / 1e9, profile: res.Profile}, nil
+			},
+		},
+	}
+}
+
+// extendedSteps assembles the seven-benchmark suite in ExtendedOrder.
+func extendedSteps(cfg *Config) []benchStep {
+	byName := map[string]benchStep{}
+	for _, st := range paperSteps(cfg) {
+		byName[st.name] = st
+	}
+	for _, st := range extraSteps(cfg) {
+		byName[st.name] = st
+	}
+	out := make([]benchStep, 0, len(ExtendedOrder))
+	for _, name := range ExtendedOrder {
+		out = append(out, byName[name])
+	}
+	return out
+}
+
 // RunExtended executes the seven-benchmark suite at one process count.
 // The three paper benchmarks run exactly as in Run; the four additions use
-// their packages' default model configurations.
+// their packages' default model configurations. The resilience machinery
+// (faults, retries, degradation, checkpointing) applies to all seven.
 func RunExtended(cfg Config) (*Result, error) {
-	base, err := Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	model := cfg.PowerModel
-	if model == nil {
-		if model, err = power.NewModel(cfg.Spec); err != nil {
-			return nil, err
-		}
-	}
-	meter, err := power.NewMeter(cfg.Meter)
-	if err != nil {
-		return nil, err
-	}
-
-	extras := make([]BenchmarkRun, 0, 4)
-
-	dg := dgemm.DefaultModelConfig(cfg.Spec, cfg.Procs)
-	dg.Placement = cfg.Placement
-	dgRes, err := dgemm.Simulate(dg)
-	if err != nil {
-		return nil, fmt.Errorf("suite: DGEMM: %w", err)
-	}
-	run, err := measure(model, meter, cfg.Facility, BenchDGEMM, "GFLOPS",
-		float64(dgRes.Perf)/1e9, dgRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	extras = append(extras, run)
-
-	pt := ptrans.DefaultModelConfig(cfg.Spec, cfg.Procs)
-	pt.Placement = cfg.Placement
-	ptRes, err := ptrans.Simulate(pt)
-	if err != nil {
-		return nil, fmt.Errorf("suite: PTRANS: %w", err)
-	}
-	run, err = measure(model, meter, cfg.Facility, BenchPTRANS, "MBPS",
-		float64(ptRes.Rate)/1e6, ptRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	extras = append(extras, run)
-
-	ra := randomaccess.DefaultModelConfig(cfg.Spec, cfg.Procs)
-	ra.Placement = cfg.Placement
-	raRes, err := randomaccess.Simulate(ra)
-	if err != nil {
-		return nil, fmt.Errorf("suite: RandomAccess: %w", err)
-	}
-	run, err = measure(model, meter, cfg.Facility, BenchRandomAccess, "GUPS",
-		raRes.GUPS, raRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	extras = append(extras, run)
-
-	ff := fft.DefaultModelConfig(cfg.Spec, cfg.Procs)
-	ff.Placement = cfg.Placement
-	ffRes, err := fft.Simulate(ff)
-	if err != nil {
-		return nil, fmt.Errorf("suite: FFT: %w", err)
-	}
-	run, err = measure(model, meter, cfg.Facility, BenchFFT, "GFLOPS",
-		float64(ffRes.Perf)/1e9, ffRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	extras = append(extras, run)
-
-	// Reassemble in ExtendedOrder: HPL, DGEMM, STREAM, PTRANS,
-	// RandomAccess, FFT, IOzone.
-	byName := map[string]BenchmarkRun{}
-	for _, b := range base.Runs {
-		byName[b.Measurement.Benchmark] = b
-	}
-	for _, b := range extras {
-		byName[b.Measurement.Benchmark] = b
-	}
-	ordered := make([]BenchmarkRun, 0, len(ExtendedOrder))
-	for _, name := range ExtendedOrder {
-		b, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("suite: missing %s in extended run", name)
-		}
-		ordered = append(ordered, b)
-	}
-	base.Runs = ordered
-	return base, nil
+	return runSuite(cfg, extendedSteps(&cfg))
 }
 
 // RunExtendedOn is RunExtended with the default configuration for spec.

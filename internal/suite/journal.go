@@ -1,0 +1,95 @@
+package suite
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Journal checkpoints completed (system, procs, placement, benchmark)
+// cells of a sweep to a JSON file, so an interrupted campaign resumes
+// where it stopped instead of re-simulating finished work. Every cell is
+// an independent, deterministically-seeded computation, so a resumed
+// sweep's output is bit-for-bit the uninterrupted one.
+//
+// The file is rewritten atomically (temp file + rename) after every cell:
+// a crash mid-checkpoint leaves the previous consistent journal behind.
+type Journal struct {
+	path  string
+	cells map[string]BenchmarkRun
+}
+
+// CellKey names one benchmark of one sweep point.
+func CellKey(system string, procs int, placement, bench string) string {
+	return fmt.Sprintf("%s|%d|%s|%s", system, procs, placement, bench)
+}
+
+// OpenJournal loads the journal at path, or starts an empty one when the
+// file does not exist yet.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, cells: map[string]BenchmarkRun{}}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, &j.cells); err != nil {
+		return nil, fmt.Errorf("suite: journal %s is corrupt (%v); delete it to start over", path, err)
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of checkpointed cells.
+func (j *Journal) Len() int { return len(j.cells) }
+
+// Lookup returns the checkpointed run for a cell, if present.
+func (j *Journal) Lookup(key string) (BenchmarkRun, bool) {
+	run, ok := j.cells[key]
+	return run, ok
+}
+
+// Record checkpoints one cell and persists the journal.
+func (j *Journal) Record(key string, run BenchmarkRun) error {
+	j.cells[key] = run
+	return j.flush()
+}
+
+// Remove deletes the journal file (after a sweep completes and its final
+// output is safely written).
+func (j *Journal) Remove() error {
+	err := os.Remove(j.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// flush writes the journal atomically.
+func (j *Journal) flush() error {
+	b, err := json.MarshalIndent(j.cells, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), j.path)
+}

@@ -1,0 +1,111 @@
+package suite
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("fresh journal has %d cells", j.Len())
+	}
+	run := BenchmarkRun{
+		Measurement: core.Measurement{Benchmark: "HPL", Metric: "GFLOPS",
+			Performance: 13.7, Power: 297, Time: 516, Energy: 153885},
+		PeakPower: 299.4,
+		Samples:   518,
+	}
+	key := CellKey("testbed", 4, "cyclic", "HPL")
+	if err := j.Record(key, run); err != nil {
+		t.Fatal(err)
+	}
+	// A second journal process (the resumed sweep) sees the cell.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j2.Lookup(key)
+	if !ok {
+		t.Fatal("recorded cell not found after reopen")
+	}
+	if got != run {
+		t.Errorf("round trip mangled run:\n%+v\n%+v", got, run)
+	}
+	if _, ok := j2.Lookup(CellKey("testbed", 8, "cyclic", "HPL")); ok {
+		t.Error("lookup matched a different cell")
+	}
+	if err := j2.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("Remove left the journal behind")
+	}
+	// Removing an already-removed journal is fine.
+	if err := j2.Remove(); err != nil {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestJournalFailedRunsAreCheckpointedToo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, _ := OpenJournal(path)
+	failed := BenchmarkRun{
+		Measurement: core.Measurement{Benchmark: "STREAM", Metric: "MBPS"},
+		Status:      StatusFailed,
+		Retries:     2,
+		Error:       "node 1 crashed at t=50s of 816s",
+		WastedTime:  150,
+	}
+	key := CellKey("testbed", 4, "cyclic", "STREAM")
+	if err := j.Record(key, failed); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := OpenJournal(path)
+	got, ok := j2.Lookup(key)
+	if !ok || got.Status != StatusFailed || got.Error != failed.Error {
+		t.Errorf("failed run did not survive the journal: %+v", got)
+	}
+}
+
+func TestJournalCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Error("corrupt journal opened")
+	} else if !strings.Contains(err.Error(), "corrupt") || !strings.Contains(err.Error(), "delete it") {
+		t.Errorf("unhelpful corrupt-journal error: %v", err)
+	}
+}
+
+func TestJournalNoTempFileResidue(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(filepath.Join(dir, "sweep.journal"))
+	for i := 0; i < 5; i++ {
+		key := CellKey("testbed", i, "cyclic", "HPL")
+		if err := j.Record(key, BenchmarkRun{Samples: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "sweep.journal" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory holds %v, want only sweep.journal", names)
+	}
+}

@@ -1,0 +1,285 @@
+package suite
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/series"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// RetryPolicy governs how the suite runner reacts to injected faults and
+// runaway benchmarks. All waiting happens in virtual time — the policy
+// shapes the simulated campaign, not wall-clock execution.
+type RetryPolicy struct {
+	// MaxAttempts bounds how often one benchmark is tried; values below 1
+	// mean a single attempt (no retries).
+	MaxAttempts int
+	// Backoff is the virtual-time delay before the first retry; each
+	// further retry multiplies it by BackoffFactor (default 2). The delay
+	// is charged to the benchmark's WastedTime, modelling the node
+	// reboot/drain a real campaign waits through.
+	Backoff       units.Seconds
+	BackoffFactor float64
+	// Timeout fails an attempt whose simulated runtime exceeds it (0: no
+	// limit) — the straggler guard of a real suite harness.
+	Timeout units.Seconds
+	// EventBudget caps the discrete-event engine's event count for
+	// event-driven benchmark models (IOzone's shared-storage simulation);
+	// exceeding it counts as a timeout, not a hard error. 0 keeps the
+	// engine default.
+	EventBudget uint64
+}
+
+// Validate checks the policy's parameters.
+func (p RetryPolicy) Validate() error {
+	switch {
+	case p.Backoff < 0:
+		return fmt.Errorf("suite: negative retry backoff %v", p.Backoff)
+	case p.BackoffFactor < 0:
+		return fmt.Errorf("suite: negative backoff factor %v", p.BackoffFactor)
+	case p.Timeout < 0:
+		return fmt.Errorf("suite: negative timeout %v", p.Timeout)
+	}
+	return nil
+}
+
+// attempts returns the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay returns the virtual-time backoff charged before attempt (1-based
+// retry index).
+func (p RetryPolicy) delay(attempt int) units.Seconds {
+	factor := p.BackoffFactor
+	if factor == 0 {
+		factor = 2
+	}
+	return p.Backoff * units.Seconds(math.Pow(factor, float64(attempt-1)))
+}
+
+// simulated is what a benchmark model hands the measurement stage.
+type simulated struct {
+	metric  string
+	perf    float64
+	profile *cluster.LoadProfile
+}
+
+// benchStep is one benchmark of a suite: a name plus the closure that runs
+// its performance model against a (possibly fault-degraded) spec.
+type benchStep struct {
+	name     string
+	metric   string
+	simulate func(spec *cluster.Spec) (simulated, error)
+}
+
+// runSuite executes steps under the config's fault plan and retry policy.
+func runSuite(cfg Config, steps []benchStep) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// The benchmark models see the degraded fabric; the meter sees the
+	// injected measurement faults. With an empty plan both are the
+	// originals and the pipeline is bit-for-bit the fault-free one.
+	spec := cfg.Faults.ApplySpec(cfg.Spec)
+	model := cfg.PowerModel
+	if model == nil {
+		var err error
+		if model, err = power.NewModel(spec); err != nil {
+			return nil, err
+		}
+	}
+	meterCfg := cfg.Faults.ApplyMeter(cfg.Meter)
+	meter, err := power.NewMeter(meterCfg)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := spec.Distribute(cfg.Procs, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		System:      spec.Name,
+		Procs:       cfg.Procs,
+		ActiveNodes: cluster.ActiveNodes(dist),
+		Placement:   cfg.Placement.String(),
+	}
+	for _, st := range steps {
+		if cfg.Lookup != nil {
+			if cached, ok := cfg.Lookup(st.name); ok {
+				res.Runs = append(res.Runs, cached)
+				continue
+			}
+		}
+		run, err := runStep(&cfg, spec, model, meter, meterCfg, st)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnBenchmark != nil {
+			if err := cfg.OnBenchmark(st.name, run); err != nil {
+				return nil, fmt.Errorf("suite: checkpointing %s: %w", st.name, err)
+			}
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	for _, b := range res.Runs {
+		if !b.OK() {
+			res.Degraded = true
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"%s failed after %d attempt(s): %s",
+				b.Measurement.Benchmark, b.Retries+1, b.Error))
+		}
+	}
+	return res, nil
+}
+
+// runStep executes one benchmark with retries. Injected faults (crashes,
+// timeouts, event-budget blowouts) are retryable and, once the attempt
+// budget is exhausted, degrade to a failed BenchmarkRun; model and
+// measurement errors remain hard errors — they indicate a broken
+// configuration, not an injected failure.
+func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
+	meter *power.Meter, meterCfg power.MeterConfig, st benchStep) (BenchmarkRun, error) {
+	var wasted units.Seconds
+	var lastErr error
+	attempts := cfg.Retry.attempts()
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			wasted += cfg.Retry.delay(attempt)
+		}
+		sm, err := st.simulate(spec)
+		if err != nil {
+			if errors.Is(err, sim.ErrEventLimit) {
+				// The event budget is a deliberate timeout, not a bug.
+				wasted += cfg.Retry.Timeout
+				lastErr = fmt.Errorf("attempt %d: event budget exhausted: %v", attempt+1, err)
+				continue
+			}
+			return BenchmarkRun{}, fmt.Errorf("suite: %s: %w", st.name, err)
+		}
+		inj := cfg.Faults.Draw(st.name, cfg.Procs, attempt, sm.profile.Duration(), spec.Nodes)
+		if inj.Slowdown > 1 {
+			sm.perf /= inj.Slowdown
+			sm.profile = stretchProfile(sm.profile, inj.Slowdown)
+		}
+		dur := sm.profile.Duration()
+		if cfg.Retry.Timeout > 0 && dur > cfg.Retry.Timeout {
+			wasted += cfg.Retry.Timeout
+			lastErr = fmt.Errorf("attempt %d: runtime %v exceeds timeout %v (slowdown ×%.2f)",
+				attempt+1, dur, cfg.Retry.Timeout, inj.Slowdown)
+			continue
+		}
+		if inj.CrashAt >= 0 && inj.CrashAt < dur {
+			wasted += inj.CrashAt
+			lastErr = fmt.Errorf("attempt %d: node %d crashed at t=%v of %v",
+				attempt+1, inj.CrashNode, inj.CrashAt, dur)
+			continue
+		}
+		run, err := measureStep(cfg, model, meter, meterCfg, st, sm)
+		if err != nil {
+			return BenchmarkRun{}, err
+		}
+		run.Retries = attempt
+		run.WastedTime = wasted
+		if attempt > 0 {
+			run.Status = StatusRecovered
+		}
+		return run, nil
+	}
+	return BenchmarkRun{
+		Measurement: failedMeasurement(st),
+		Status:      StatusFailed,
+		Retries:     attempts - 1,
+		WastedTime:  wasted,
+		Error:       lastErr.Error(),
+	}, nil
+}
+
+// measureStep meters a successful attempt: sample the load profile, repair
+// the trace when the fault plan perturbs the measurement path, optionally
+// lift to facility power, and fold into a measurement.
+func measureStep(cfg *Config, model *power.Model, meter *power.Meter,
+	meterCfg power.MeterConfig, st benchStep, sm simulated) (BenchmarkRun, error) {
+	trace, err := meter.Measure(model, sm.profile)
+	if err != nil {
+		return BenchmarkRun{}, fmt.Errorf("suite: metering %s: %w", st.name, err)
+	}
+	var rep series.RepairReport
+	if cfg.Faults.MeterFaulty() {
+		if trace, rep, err = trace.Repair(meterCfg.Interval, 0); err != nil {
+			return BenchmarkRun{}, fmt.Errorf("suite: repairing %s trace: %w", st.name, err)
+		}
+	}
+	if cfg.Facility != nil {
+		if trace, err = cfg.Facility.ApplyTrace(trace); err != nil {
+			return BenchmarkRun{}, fmt.Errorf("suite: facility model for %s: %w", st.name, err)
+		}
+	}
+	run, err := fromTrace(trace, st.name, st.metric, sm.perf, sm.profile.Duration())
+	if err != nil {
+		return BenchmarkRun{}, err
+	}
+	run.GapsFilled = rep.GapsFilled
+	run.OutliersRejected = rep.OutliersRejected
+	return run, nil
+}
+
+// failedMeasurement returns an empty measurement that still names the
+// benchmark, so a failed run's identity survives serialisation and
+// journaling.
+func failedMeasurement(st benchStep) (m core.Measurement) {
+	m.Benchmark, m.Metric = st.name, st.metric
+	return m
+}
+
+// stretchProfile scales a load profile's time axis by factor (a straggler
+// slows the whole bulk-synchronous run down).
+func stretchProfile(lp *cluster.LoadProfile, factor float64) *cluster.LoadProfile {
+	out := &cluster.LoadProfile{Phases: make([]cluster.Phase, len(lp.Phases))}
+	for i, ph := range lp.Phases {
+		out.Phases[i] = cluster.Phase{
+			Duration: ph.Duration * units.Seconds(factor),
+			NodeUtil: ph.NodeUtil,
+		}
+	}
+	return out
+}
+
+// fromTrace builds a BenchmarkRun from an already-sampled trace.
+func fromTrace(trace *series.Trace, name, metric string, perf float64,
+	dur units.Seconds) (BenchmarkRun, error) {
+	energy, err := trace.Energy()
+	if err != nil {
+		return BenchmarkRun{}, fmt.Errorf("suite: integrating %s: %w", name, err)
+	}
+	mean, err := trace.MeanPower()
+	if err != nil {
+		return BenchmarkRun{}, err
+	}
+	peak, err := trace.PeakPower()
+	if err != nil {
+		return BenchmarkRun{}, err
+	}
+	return BenchmarkRun{
+		Measurement: core.Measurement{
+			Benchmark:   name,
+			Metric:      metric,
+			Performance: perf,
+			Power:       mean,
+			Time:        dur,
+			Energy:      energy,
+		},
+		PeakPower: peak,
+		Samples:   trace.Len(),
+	}, nil
+}

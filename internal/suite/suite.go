@@ -5,6 +5,14 @@
 // TGI pipeline consumes. It mirrors the paper's experimental procedure:
 // the whole cluster sits behind one meter (Figure 1) and the three
 // benchmarks run back to back at each process count.
+//
+// Beyond the paper's clean-room procedure, the runner is resilient: a
+// faults.Plan injects node crashes, stragglers and meter faults; a
+// RetryPolicy retries failed benchmarks with exponential backoff in
+// virtual time; and a benchmark that exhausts its retries degrades the
+// run to a partial result (per-benchmark status, Degraded flag) instead
+// of failing it. With no fault plan and a zero RetryPolicy the pipeline
+// is bit-for-bit the original deterministic one.
 package suite
 
 import (
@@ -15,10 +23,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hpl"
 	"repro/internal/iozone"
 	"repro/internal/power"
-	"repro/internal/series"
 	"repro/internal/stream"
 	"repro/internal/units"
 )
@@ -52,6 +60,46 @@ type Config struct {
 	// "a center-wide view of the energy efficiency".
 	Facility *power.FacilitySpec
 	Tunables Tunables
+
+	// Faults injects the run's fault scenario (nil or empty: none).
+	Faults *faults.Plan
+	// Retry governs per-benchmark retries, backoff and timeouts; the zero
+	// value runs each benchmark exactly once with no timeout.
+	Retry RetryPolicy
+	// Lookup, when set, is consulted before each benchmark executes; a
+	// cached BenchmarkRun is reused verbatim. This is how resumable sweeps
+	// skip completed (procs, benchmark) cells.
+	Lookup func(bench string) (BenchmarkRun, bool)
+	// OnBenchmark, when set, is invoked after each freshly-executed
+	// benchmark (not for Lookup hits); an error aborts the run. This is
+	// the checkpoint hook of resumable sweeps.
+	OnBenchmark func(bench string, run BenchmarkRun) error
+}
+
+// Validate checks the configuration before any model runs, so a broken
+// config fails with one descriptive error instead of deep inside a
+// benchmark model.
+func (c *Config) Validate() error {
+	if c.Spec == nil {
+		return errors.New("suite: config has no cluster spec")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return fmt.Errorf("suite: invalid spec %q: %w", c.Spec.Name, err)
+	}
+	if c.Procs < 1 {
+		return fmt.Errorf("suite: process count %d must be at least 1", c.Procs)
+	}
+	if total := c.Spec.TotalCores(); c.Procs > total {
+		return fmt.Errorf("suite: %d processes exceed the %d cores of %s",
+			c.Procs, total, c.Spec.Name)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // DefaultConfig returns the configuration the paper-reproduction sweeps
@@ -72,12 +120,36 @@ func SeededConfig(spec *cluster.Spec, procs int, seedBase uint64) Config {
 	}
 }
 
+// Status classifies a benchmark's outcome within a suite run. The zero
+// value (first-attempt success) serialises to nothing, keeping fault-free
+// output identical to the pre-resilience format.
+type Status string
+
+// Benchmark outcomes.
+const (
+	StatusOK        Status = ""          // succeeded on the first attempt
+	StatusRecovered Status = "recovered" // succeeded after one or more retries
+	StatusFailed    Status = "failed"    // exhausted its attempts; Measurement is empty
+)
+
 // BenchmarkRun is one benchmark's outcome within a suite run.
 type BenchmarkRun struct {
 	Measurement core.Measurement `json:"measurement"`
 	PeakPower   units.Watts      `json:"peak_power"`
 	Samples     int              `json:"samples"`
+
+	// Resilience bookkeeping; all zero on a clean first-attempt run.
+	Status     Status        `json:"status,omitempty"`
+	Retries    int           `json:"retries,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	WastedTime units.Seconds `json:"wasted_time,omitempty"` // virtual time burnt by failed attempts + backoff
+	// Meter-repair accounting (gap-tolerant metering under meter faults).
+	GapsFilled       int `json:"gaps_filled,omitempty"`
+	OutliersRejected int `json:"outliers_rejected,omitempty"`
 }
+
+// OK reports whether the benchmark produced a usable measurement.
+func (b *BenchmarkRun) OK() bool { return b.Status != StatusFailed }
 
 // Result is a full suite run at one process count.
 type Result struct {
@@ -86,154 +158,38 @@ type Result struct {
 	ActiveNodes int            `json:"active_nodes"`
 	Placement   string         `json:"placement"`
 	Runs        []BenchmarkRun `json:"runs"`
+	// Degraded marks a partial result: at least one benchmark exhausted
+	// its retries. TGI over such a result covers only the surviving
+	// benchmarks (core.ComputePartial renormalises the weights).
+	Degraded bool     `json:"degraded,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
 }
 
-// Measurements extracts the core measurements in run order.
+// Measurements extracts the core measurements of the surviving benchmarks
+// in run order. On a non-degraded run that is every benchmark.
 func (r *Result) Measurements() []core.Measurement {
-	out := make([]core.Measurement, len(r.Runs))
-	for i, b := range r.Runs {
-		out[i] = b.Measurement
+	out := make([]core.Measurement, 0, len(r.Runs))
+	for _, b := range r.Runs {
+		if b.OK() {
+			out = append(out, b.Measurement)
+		}
 	}
 	return out
 }
 
-// measure converts a load profile into a measurement via the meter,
-// optionally lifting the trace to facility level.
-func measure(model *power.Model, meter *power.Meter, facility *power.FacilitySpec,
-	name, metric string, perf float64, profile *cluster.LoadProfile) (BenchmarkRun, error) {
-	trace, err := meter.Measure(model, profile)
-	if err != nil {
-		return BenchmarkRun{}, fmt.Errorf("suite: metering %s: %w", name, err)
+// Benchmarks returns every benchmark name in run order, including failed
+// ones — the expected list for partial-TGI evaluation.
+func (r *Result) Benchmarks() []string {
+	out := make([]string, len(r.Runs))
+	for i, b := range r.Runs {
+		out[i] = b.Measurement.Benchmark
 	}
-	if facility != nil {
-		if trace, err = facility.ApplyTrace(trace); err != nil {
-			return BenchmarkRun{}, fmt.Errorf("suite: facility model for %s: %w", name, err)
-		}
-	}
-	return fromTrace(trace, name, metric, perf, profile.Duration())
-}
-
-// fromTrace builds a BenchmarkRun from an already-sampled trace.
-func fromTrace(trace *series.Trace, name, metric string, perf float64,
-	dur units.Seconds) (BenchmarkRun, error) {
-	energy, err := trace.Energy()
-	if err != nil {
-		return BenchmarkRun{}, fmt.Errorf("suite: integrating %s: %w", name, err)
-	}
-	mean, err := trace.MeanPower()
-	if err != nil {
-		return BenchmarkRun{}, err
-	}
-	peak, err := trace.PeakPower()
-	if err != nil {
-		return BenchmarkRun{}, err
-	}
-	return BenchmarkRun{
-		Measurement: core.Measurement{
-			Benchmark:   name,
-			Metric:      metric,
-			Performance: perf,
-			Power:       mean,
-			Time:        dur,
-			Energy:      energy,
-		},
-		PeakPower: peak,
-		Samples:   trace.Len(),
-	}, nil
+	return out
 }
 
 // Run executes the three-benchmark suite at one process count.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Spec == nil {
-		return nil, errors.New("suite: nil spec")
-	}
-	model := cfg.PowerModel
-	if model == nil {
-		var err error
-		if model, err = power.NewModel(cfg.Spec); err != nil {
-			return nil, err
-		}
-	}
-	meter, err := power.NewMeter(cfg.Meter)
-	if err != nil {
-		return nil, err
-	}
-	dist, err := cfg.Spec.Distribute(cfg.Procs, cfg.Placement)
-	if err != nil {
-		return nil, err
-	}
-	active := cluster.ActiveNodes(dist)
-
-	res := &Result{
-		System:      cfg.Spec.Name,
-		Procs:       cfg.Procs,
-		ActiveNodes: active,
-		Placement:   cfg.Placement.String(),
-	}
-
-	// HPL.
-	hplCfg := hpl.DefaultModelConfig(cfg.Spec, cfg.Procs)
-	if cfg.Tunables.HPL != nil {
-		hplCfg = *cfg.Tunables.HPL
-	}
-	hplCfg.Placement = cfg.Placement
-	hplRes, err := hpl.Simulate(hplCfg)
-	if err != nil {
-		return nil, fmt.Errorf("suite: HPL: %w", err)
-	}
-	run, err := measure(model, meter, cfg.Facility, BenchHPL, "GFLOPS",
-		float64(hplRes.Perf)/1e9, hplRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	res.Runs = append(res.Runs, run)
-
-	// STREAM.
-	stCfg := stream.DefaultModelConfig(cfg.Spec, cfg.Procs)
-	if cfg.Tunables.Stream != nil {
-		stCfg = *cfg.Tunables.Stream
-	}
-	stCfg.Placement = cfg.Placement
-	stRes, err := stream.Simulate(stCfg)
-	if err != nil {
-		return nil, fmt.Errorf("suite: STREAM: %w", err)
-	}
-	run, err = measure(model, meter, cfg.Facility, BenchSTREAM, "MBPS",
-		float64(stRes.Aggregate)/1e6, stRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	res.Runs = append(res.Runs, run)
-
-	// IOzone: one I/O client per socket's worth of cores (clamped to the
-	// node count) — at 32 of Fire's 128 cores the write test runs 4
-	// clients, so the I/O sweep covers the same 1…8-client range as the
-	// node axis of the paper's Figure 4.
-	perClient := cfg.Spec.Node.CPU.CoresPerSocket
-	ioClients := (cfg.Procs + perClient - 1) / perClient
-	if ioClients > cfg.Spec.Nodes {
-		ioClients = cfg.Spec.Nodes
-	}
-	ioCfg := iozone.DefaultModelConfig(cfg.Spec, ioClients)
-	// Every process contributes a fixed I/O volume (4.5 GB), so the test's
-	// duration scales with the sweep the way the compute benchmarks' do.
-	ioCfg.FileBytesPerNode = 4.5e9 * float64(cfg.Procs) / float64(ioClients)
-	if cfg.Tunables.IOzone != nil {
-		ioCfg = *cfg.Tunables.IOzone
-	}
-	ioCfg.Procs = cfg.Procs
-	ioRes, err := iozone.Simulate(ioCfg)
-	if err != nil {
-		return nil, fmt.Errorf("suite: IOzone: %w", err)
-	}
-	run, err = measure(model, meter, cfg.Facility, BenchIOzone, "MBPS",
-		float64(ioRes.Aggregate)/1e6, ioRes.Profile)
-	if err != nil {
-		return nil, err
-	}
-	res.Runs = append(res.Runs, run)
-
-	return res, nil
+	return runSuite(cfg, paperSteps(&cfg))
 }
 
 // Sweep runs the suite at each process count and returns the results in
@@ -279,7 +235,22 @@ func LoadJSON(path string) ([]*Result, error) {
 	}
 	var out []*Result
 	if err := json.Unmarshal(b, &out); err != nil {
-		return nil, fmt.Errorf("suite: parsing %s: %w", path, err)
+		return nil, describeJSONError(path, err)
 	}
 	return out, nil
+}
+
+// describeJSONError turns encoding/json's errors into one readable line
+// that names the file and the position of the damage.
+func describeJSONError(path string, err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("suite: %s: malformed JSON near byte %d: %v", path, syn.Offset, syn)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return fmt.Errorf("suite: %s: field %q holds %s where %s was expected",
+			path, typ.Field, typ.Value, typ.Type)
+	}
+	return fmt.Errorf("suite: %s: not a results file: %v", path, err)
 }
