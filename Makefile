@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fmt-check check
+.PHONY: build vet test race fmt-check check bench
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,11 @@ fmt-check:
 	fi
 
 check: build vet test race fmt-check
+
+# Benchmark the hot paths (engine dispatch, trace repair, suite sweep)
+# and keep the machine-readable trajectory in BENCH_obs.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkRepair|BenchmarkSweep' \
+		-benchtime 1x -json \
+		./internal/sim ./internal/series ./internal/suite > BENCH_obs.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | sed 's/"Output":"//' || true

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/units"
 )
@@ -67,6 +68,9 @@ func main() {
 	timeout := flag.Float64("timeout", 0, "per-benchmark virtual-time limit in seconds (0: none)")
 	resume := flag.Bool("resume", false, "skip (procs, benchmark) cells checkpointed in the journal")
 	journalPath := flag.String("journal", "", "sweep checkpoint journal (default: <out>.journal)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the campaign")
+	metricsPath := flag.String("metrics", "", "write campaign metrics (counters, gauges, histograms) as JSON")
+	reportPath := flag.String("report", "", "write the human-readable run report ('-': stdout)")
 	flag.Parse()
 
 	if err := run(options{
@@ -74,6 +78,7 @@ func main() {
 		procs: *procs, sweep: *sweep, extended: *extended, out: *out, placement: *placement,
 		faultsPath: *faultsPath, retries: *retries, timeout: *timeout,
 		resume: *resume, journalPath: *journalPath,
+		tracePath: *tracePath, metricsPath: *metricsPath, reportPath: *reportPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
@@ -95,6 +100,19 @@ type options struct {
 	timeout     float64
 	resume      bool
 	journalPath string
+	tracePath   string
+	metricsPath string
+	reportPath  string
+	// interruptAfter aborts a sweep after N checkpointed cells — a test
+	// hook simulating a killed process (the journal stays behind).
+	interruptAfter int
+}
+
+// traced reports whether any observability output was requested. The
+// tracer only exists when it is: instrumentation is off by default and
+// provably inert (see internal/obs).
+func (o options) traced() bool {
+	return o.tracePath != "" || o.metricsPath != "" || o.reportPath != ""
 }
 
 // retryPolicy translates the CLI knobs into a suite.RetryPolicy. Retries
@@ -144,11 +162,20 @@ func run(o options) error {
 	if extended {
 		execute = suite.RunExtended
 	}
+	var tracer *obs.Tracer
+	if o.traced() {
+		tracer = obs.NewTracer()
+	}
+	var cursor units.Seconds
 	configure := func(p int) suite.Config {
 		cfg := suite.DefaultConfig(spec, p)
 		cfg.Placement = pl
 		cfg.Faults = plan
 		cfg.Retry = o.retryPolicy()
+		if tracer != nil {
+			cfg.Trace = tracer
+			cfg.TraceAt = cursor
+		}
 		return cfg
 	}
 	var results []*suite.Result
@@ -173,25 +200,49 @@ func run(o options) error {
 					journal.Len(), journal.Path())
 			}
 		}
+		cells := 0
 		for _, p := range axis {
 			cfg := configure(p)
 			if journal != nil {
 				key := func(bench string) string {
 					return suite.CellKey(spec.Name, p, pl.String(), bench)
 				}
+				// mark fences the tracer per benchmark cell, so each cell's
+				// spans are journaled with it and replayed on resume.
+				mark := tracer.Mark()
 				if o.resume {
 					cfg.Lookup = func(bench string) (suite.BenchmarkRun, bool) {
-						return journal.Lookup(key(bench))
+						run, ok := journal.Lookup(key(bench))
+						if ok && tracer != nil {
+							if tr, hasTrace := journal.LookupTrace(key(bench)); hasTrace {
+								tracer.Replay(tr.Spans, tr.Events)
+								mark = tracer.Mark()
+							}
+						}
+						return run, ok
 					}
 				}
 				cfg.OnBenchmark = func(bench string, run suite.BenchmarkRun) error {
-					return journal.Record(key(bench), run)
+					if tracer != nil {
+						spans, events := tracer.Since(mark)
+						mark = tracer.Mark()
+						journal.SetTrace(key(bench), suite.CellTrace{Spans: spans, Events: events})
+					}
+					if err := journal.Record(key(bench), run); err != nil {
+						return err
+					}
+					cells++
+					if o.interruptAfter > 0 && cells >= o.interruptAfter {
+						return fmt.Errorf("sweep interrupted after %d cell(s) (test hook)", cells)
+					}
+					return nil
 				}
 			}
 			r, err := execute(cfg)
 			if err != nil {
 				return err
 			}
+			cursor = r.TraceEnd
 			results = append(results, r)
 		}
 	} else {
@@ -237,12 +288,59 @@ func run(o options) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d run(s))\n", out, len(results))
 	}
+	if err := writeObservability(o, tracer, results); err != nil {
+		return err
+	}
 	// The sweep completed and its output (if any) is safely on disk: the
 	// journal has served its purpose.
 	if journal != nil {
 		if err := journal.Remove(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeObservability emits the campaign's trace, metrics and run report
+// as requested by -trace, -metrics and -report.
+func writeObservability(o options, tracer *obs.Tracer, results []*suite.Result) error {
+	if tracer == nil {
+		return nil
+	}
+	if o.tracePath != "" {
+		if err := obs.WriteChromeTraceFile(o.tracePath, tracer.Spans(), tracer.Events()); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d span(s), %d event(s))\n",
+			o.tracePath, len(tracer.Spans()), len(tracer.Events()))
+	}
+	if o.metricsPath != "" {
+		if err := tracer.Registry().Snapshot().WriteFile(o.metricsPath); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.metricsPath)
+	}
+	if o.reportPath != "" {
+		title := "greenbench campaign"
+		if len(results) > 0 {
+			title = fmt.Sprintf("greenbench campaign: %s", results[0].System)
+		}
+		rep := suite.BuildReport(title, results)
+		if o.reportPath == "-" {
+			return rep.Render(os.Stdout)
+		}
+		f, err := os.Create(o.reportPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.reportPath)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/suite"
 )
 
@@ -206,6 +207,111 @@ func TestRunSweepResumeMatchesUninterrupted(t *testing.T) {
 	}
 	if _, err := os.Stat(resumed + ".journal"); !os.IsNotExist(err) {
 		t.Error("journal not removed after the resumed sweep completed")
+	}
+}
+
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	plan := &faults.Plan{
+		Seed:      7,
+		Crashes:   []faults.Crash{{Benchmark: "HPL", Node: 1, At: 100, Attempt: 0}},
+		Straggler: &faults.Straggler{Prob: 1, ClockFactor: 0.8},
+		Meter:     &faults.Meter{DropRate: 0.05},
+	}
+	if err := faults.Save(planPath, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: the same scenario untraced.
+	plain := filepath.Join(dir, "plain.json")
+	if err := run(options{system: "testbed", procs: 4, out: plain, placement: "cyclic",
+		faultsPath: planPath, retries: 1}); err != nil {
+		t.Fatal(err)
+	}
+	traced := filepath.Join(dir, "traced.json")
+	tracePath := filepath.Join(dir, "run.trace.json")
+	metricsPath := filepath.Join(dir, "run.metrics.json")
+	reportPath := filepath.Join(dir, "run.report.txt")
+	if err := run(options{system: "testbed", procs: 4, out: traced, placement: "cyclic",
+		faultsPath: planPath, retries: 1,
+		tracePath: tracePath, metricsPath: metricsPath, reportPath: reportPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Tracing is inert: the results JSON is byte-identical.
+	a, _ := os.ReadFile(plain)
+	b, _ := os.ReadFile(traced)
+	if string(a) != string(b) {
+		t.Error("tracing changed the results JSON")
+	}
+	chk, err := obs.ValidateChromeTraceFile(tracePath)
+	if err != nil {
+		t.Fatalf("emitted trace invalid: %v", err)
+	}
+	if chk.Spans == 0 || chk.Instants == 0 {
+		t.Errorf("trace = %+v, want spans and fault events", chk)
+	}
+	m, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"suite.attempts", "faults.crashes", "meter.windows"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	rep, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HPL", "recovered", "retries", "energy"} {
+		if !strings.Contains(string(rep), want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestRunSweepResumeReplaysTrace(t *testing.T) {
+	dir := t.TempDir()
+	// The uninterrupted traced sweep is the ground truth.
+	full := filepath.Join(dir, "full.json")
+	fullTrace := filepath.Join(dir, "full.trace.json")
+	if err := run(options{system: "testbed", sweep: true, out: full,
+		placement: "cyclic", tracePath: fullTrace}); err != nil {
+		t.Fatal(err)
+	}
+	wantTrace, err := os.ReadFile(fullTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt a traced sweep after three axis points by running it with a
+	// checkpoint hook that aborts, exactly as a killed process would.
+	resumed := filepath.Join(dir, "resumed.json")
+	err = run(options{system: "testbed", sweep: true, out: resumed,
+		placement: "cyclic", tracePath: filepath.Join(dir, "partial.trace.json"),
+		journalPath: resumed + ".journal", interruptAfter: 9})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted sweep did not stop: %v", err)
+	}
+	// Resume must replay the journaled cells' spans and produce the
+	// identical trace file.
+	resumedTrace := filepath.Join(dir, "resumed.trace.json")
+	if err := run(options{system: "testbed", sweep: true, out: resumed,
+		placement: "cyclic", resume: true, tracePath: resumedTrace,
+		journalPath: resumed + ".journal"}); err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, err := os.ReadFile(resumedTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotTrace) != string(wantTrace) {
+		t.Error("resumed sweep trace differs from uninterrupted sweep trace")
+	}
+	// And the results themselves still match the untraced contract.
+	a, _ := os.ReadFile(full)
+	b, _ := os.ReadFile(resumed)
+	if string(a) != string(b) {
+		t.Error("resumed sweep output differs from uninterrupted sweep")
 	}
 }
 

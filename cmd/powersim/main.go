@@ -6,6 +6,7 @@
 //
 //	powersim -system fire -procs 128 -bench hpl
 //	powersim -system fire -procs 64 -bench stream -interval 1 > trace.csv
+//	powersim -system fire -bench hpl -quiet -trace run.trace.json
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hpl"
 	"repro/internal/iozone"
+	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/report"
 	"repro/internal/stream"
 	"repro/internal/units"
 )
@@ -30,17 +33,43 @@ func main() {
 	bench := flag.String("bench", "hpl", "benchmark: hpl, stream, iozone")
 	interval := flag.Float64("interval", 1, "meter sampling interval, seconds")
 	seed := flag.Uint64("seed", 42, "meter noise seed")
+	quiet := flag.Bool("quiet", false, "suppress the run summary on stderr")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the metered run")
+	metricsPath := flag.String("metrics", "", "write meter metrics (counters, histograms) as JSON")
+	reportPath := flag.String("report", "", "write the run summary to a file instead of stderr")
 	flag.Parse()
 
-	if err := run(*system, *procs, *bench, *interval, *seed, os.Stdout); err != nil {
+	if err := run(options{
+		system: *system, procs: *procs, bench: *bench,
+		interval: *interval, seed: *seed, quiet: *quiet,
+		tracePath: *tracePath, metricsPath: *metricsPath, reportPath: *reportPath,
+	}, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "powersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system string, procs int, bench string, interval float64, seed uint64, out io.Writer) error {
+type options struct {
+	system      string
+	procs       int
+	bench       string
+	interval    float64
+	seed        uint64
+	quiet       bool
+	tracePath   string
+	metricsPath string
+	reportPath  string
+}
+
+// traced reports whether observability output was requested; the tracer
+// only exists when it is (instrumentation is inert and off by default).
+func (o options) traced() bool { return o.tracePath != "" || o.metricsPath != "" }
+
+// run emits the sampled trace as CSV on out and the run summary on errw
+// (or the -report file), honouring the observability flags.
+func run(o options, out, errw io.Writer) error {
 	var spec *cluster.Spec
-	switch strings.ToLower(system) {
+	switch strings.ToLower(o.system) {
 	case "fire":
 		spec = cluster.Fire()
 	case "systemg":
@@ -50,14 +79,15 @@ func run(system string, procs int, bench string, interval float64, seed uint64, 
 	case "testbed":
 		spec = cluster.Testbed()
 	default:
-		return fmt.Errorf("unknown system %q", system)
+		return fmt.Errorf("unknown system %q", o.system)
 	}
+	procs := o.procs
 	if procs == 0 {
 		procs = spec.TotalCores()
 	}
 
 	var profile *cluster.LoadProfile
-	switch strings.ToLower(bench) {
+	switch strings.ToLower(o.bench) {
 	case "hpl":
 		res, err := hpl.Simulate(hpl.DefaultModelConfig(spec, procs))
 		if err != nil {
@@ -81,18 +111,23 @@ func run(system string, procs int, bench string, interval float64, seed uint64, 
 		}
 		profile = res.Profile
 	default:
-		return fmt.Errorf("unknown benchmark %q (want hpl, stream or iozone)", bench)
+		return fmt.Errorf("unknown benchmark %q (want hpl, stream or iozone)", o.bench)
 	}
 
 	model, err := power.NewModel(spec)
 	if err != nil {
 		return err
 	}
-	cfg := power.WattsUpPRO(seed)
-	cfg.Interval = units.Seconds(interval)
+	cfg := power.WattsUpPRO(o.seed)
+	cfg.Interval = units.Seconds(o.interval)
 	meter, err := power.NewMeter(cfg)
 	if err != nil {
 		return err
+	}
+	var tracer *obs.Tracer
+	if o.traced() {
+		tracer = obs.NewTracer()
+		meter.Instrument(tracer)
 	}
 	trace, err := meter.Measure(model, profile)
 	if err != nil {
@@ -109,7 +144,54 @@ func run(system string, procs int, bench string, interval float64, seed uint64, 
 		return err
 	}
 	mean, _ := trace.MeanPower()
-	fmt.Fprintf(os.Stderr, "%s on %s (%d procs): %d samples, mean %s, energy %s\n",
-		strings.ToUpper(bench), spec.Name, procs, trace.Len(), mean, energy)
+	peak, _ := trace.PeakPower()
+
+	if o.tracePath != "" {
+		if err := obs.WriteChromeTraceFile(o.tracePath, tracer.Spans(), tracer.Events()); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if o.metricsPath != "" {
+		if err := tracer.Registry().Snapshot().WriteFile(o.metricsPath); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+
+	rep := &report.RunReport{
+		Title: fmt.Sprintf("powersim: %s on %s", strings.ToUpper(o.bench), spec.Name),
+		Rows: []report.RunRow{{
+			System:    spec.Name,
+			Procs:     procs,
+			Bench:     strings.ToUpper(o.bench),
+			Status:    "ok",
+			MeanWatts: float64(mean),
+			PeakWatts: float64(peak),
+			Seconds:   float64(profile.Duration()),
+			EnergyJ:   float64(energy),
+		}},
+		Summary: []report.KV{
+			{Key: "samples", Value: fmt.Sprintf("%d", trace.Len())},
+			{Key: "interval", Value: fmt.Sprintf("%g s", o.interval)},
+			{Key: "mean power", Value: mean.String()},
+			{Key: "energy", Value: energy.String()},
+		},
+	}
+	if o.reportPath != "" {
+		f, err := os.Create(o.reportPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if !o.quiet {
+		if err := rep.Render(errw); err != nil {
+			return err
+		}
+	}
 	return nil
 }

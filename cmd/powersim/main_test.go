@@ -1,14 +1,23 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
+
+// opts builds the default option set the old positional tests used.
+func opts(system string, procs int, bench string, interval float64, seed uint64) options {
+	return options{system: system, procs: procs, bench: bench, interval: interval, seed: seed}
+}
 
 func TestRunAllBenchmarks(t *testing.T) {
 	for _, bench := range []string{"hpl", "stream", "iozone"} {
-		var sb strings.Builder
-		if err := run("testbed", 4, bench, 1, 1, &sb); err != nil {
+		var sb, errb strings.Builder
+		if err := run(opts("testbed", 4, bench, 1, 1), &sb, &errb); err != nil {
 			t.Errorf("%s: %v", bench, err)
 			continue
 		}
@@ -20,38 +29,113 @@ func TestRunAllBenchmarks(t *testing.T) {
 		if lines < 3 {
 			t.Errorf("%s: only %d lines", bench, lines)
 		}
+		if !strings.Contains(errb.String(), "powersim:") {
+			t.Errorf("%s: summary missing from stderr", bench)
+		}
 	}
 }
 
 func TestRunDefaultsProcs(t *testing.T) {
-	var sb strings.Builder
-	if err := run("testbed", 0, "stream", 1, 1, &sb); err != nil {
+	var sb, errb strings.Builder
+	if err := run(opts("testbed", 0, "stream", 1, 1), &sb, &errb); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	var sb strings.Builder
-	if err := run("nope", 1, "hpl", 1, 1, &sb); err == nil {
+	var sb, errb strings.Builder
+	if err := run(opts("nope", 1, "hpl", 1, 1), &sb, &errb); err == nil {
 		t.Error("bad system accepted")
 	}
-	if err := run("testbed", 1, "linpack2", 1, 1, &sb); err == nil {
+	if err := run(opts("testbed", 1, "linpack2", 1, 1), &sb, &errb); err == nil {
 		t.Error("bad benchmark accepted")
 	}
-	if err := run("testbed", 1, "hpl", 0, 1, &sb); err == nil {
+	if err := run(opts("testbed", 1, "hpl", 0, 1), &sb, &errb); err == nil {
 		t.Error("zero interval accepted")
 	}
 }
 
 func TestIntervalControlsSampleCount(t *testing.T) {
-	var fine, coarse strings.Builder
-	if err := run("testbed", 4, "iozone", 1, 1, &fine); err != nil {
+	var fine, coarse, errb strings.Builder
+	if err := run(opts("testbed", 4, "iozone", 1, 1), &fine, &errb); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("testbed", 4, "iozone", 60, 1, &coarse); err != nil {
+	if err := run(opts("testbed", 4, "iozone", 60, 1), &coarse, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Count(fine.String(), "\n") <= strings.Count(coarse.String(), "\n") {
 		t.Error("finer interval did not produce more samples")
+	}
+}
+
+func TestQuietSuppressesSummary(t *testing.T) {
+	o := opts("testbed", 4, "stream", 1, 1)
+	o.quiet = true
+	var sb, errb strings.Builder
+	if err := run(o, &sb, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("-quiet still wrote a summary: %q", errb.String())
+	}
+	if !strings.HasPrefix(sb.String(), "seconds,watts\n") {
+		t.Error("-quiet dropped the CSV stream too")
+	}
+}
+
+func TestReportFileRoutesSummary(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("testbed", 4, "hpl", 1, 1)
+	o.reportPath = filepath.Join(dir, "run.report.txt")
+	var sb, errb strings.Builder
+	if err := run(o, &sb, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("-report still wrote the summary to stderr: %q", errb.String())
+	}
+	b, err := os.ReadFile(o.reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"powersim: HPL on", "mean power", "energy"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("report file missing %q:\n%s", want, b)
+		}
+	}
+}
+
+func TestTraceAndMetricsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("testbed", 4, "iozone", 1, 1)
+	o.quiet = true
+	o.tracePath = filepath.Join(dir, "run.trace.json")
+	o.metricsPath = filepath.Join(dir, "run.metrics.json")
+	var plain, traced, errb strings.Builder
+	if err := run(opts("testbed", 4, "iozone", 1, 1), &plain, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &traced, &errb); err != nil {
+		t.Fatal(err)
+	}
+	// Instrumentation is inert: the CSV stream is byte-identical.
+	if plain.String() != traced.String() {
+		t.Error("tracing changed the sampled CSV output")
+	}
+	chk, err := obs.ValidateChromeTraceFile(o.tracePath)
+	if err != nil {
+		t.Fatalf("emitted trace invalid: %v", err)
+	}
+	if chk.Spans == 0 {
+		t.Error("trace holds no spans (expected at least the meter window)")
+	}
+	m, err := os.ReadFile(o.metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"meter.windows", "meter.samples"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
 	}
 }

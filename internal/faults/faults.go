@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -156,6 +157,52 @@ type Injection struct {
 
 // none is the no-fault injection.
 func none() Injection { return Injection{CrashAt: -1, Slowdown: 1} }
+
+// Record emits the injection as trace events on the benchmark's track:
+// a "straggler" event at the attempt's start carrying the slowdown, and
+// a "crash" event at the crash's position on the campaign clock. start
+// is the attempt's start on that clock and dur the attempt's (already
+// slowdown-stretched) runtime, so the event notes whether the crash
+// actually landed inside the run. A no-fault injection records nothing.
+func (inj Injection) Record(rec obs.Recorder, bench string, attempt int, start, dur units.Seconds) {
+	if rec == nil {
+		return
+	}
+	if inj.Slowdown > 1 {
+		rec.Event(obs.Event{
+			Track: bench,
+			Name:  "fault: straggler",
+			At:    start,
+			Attrs: []obs.Attr{
+				obs.Int("attempt", attempt+1),
+				obs.F64("slowdown", inj.Slowdown),
+			},
+		})
+		rec.Count("faults.stragglers", 1)
+	}
+	if inj.CrashAt >= 0 {
+		hit := "false"
+		if inj.CrashAt < dur {
+			hit = "true"
+		}
+		at := start + inj.CrashAt
+		if inj.CrashAt >= dur {
+			at = start + dur // the node survived the whole attempt
+		}
+		rec.Event(obs.Event{
+			Track: bench,
+			Name:  "fault: node crash",
+			At:    at,
+			Attrs: []obs.Attr{
+				obs.Int("attempt", attempt+1),
+				obs.Int("node", inj.CrashNode),
+				obs.Secs("crash_at", inj.CrashAt),
+				obs.Str("hit", hit),
+			},
+		})
+		rec.Count("faults.crashes", 1)
+	}
+}
 
 // hashString is FNV-1a, used to key per-benchmark RNG streams.
 func hashString(s string) uint64 {

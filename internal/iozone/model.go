@@ -30,6 +30,10 @@ type ModelConfig struct {
 	// the engine default). The resilient suite runner sets it to bound a
 	// runaway benchmark; exceeding it surfaces as sim.ErrEventLimit.
 	EventLimit uint64
+	// Hooks, when set, is attached to the discrete-event engine so an
+	// observer can watch events dispatch and clients contend for the
+	// shared backend. Purely passive; nil costs nothing.
+	Hooks *sim.Hooks
 }
 
 // DefaultModelConfig returns the configuration used by the paper
@@ -50,6 +54,9 @@ type ModelResult struct {
 	Duration  units.Seconds     // makespan of the slowest client
 	Profile   *cluster.LoadProfile
 	Shared    bool // true when a shared backend was the bottleneck path
+	// Engine summarises the discrete-event kernel's work (zero for the
+	// local-disk path, which needs no event simulation).
+	Engine sim.Stats
 }
 
 // Simulate evaluates the write test against the cluster's storage topology.
@@ -87,8 +94,10 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 
 	shared := cfg.Spec.Storage.AggregateBps > 0
 	var makespan float64
+	var engStats sim.Stats
 	if shared {
 		eng := sim.NewEngine(cfg.EventLimit)
+		eng.SetHooks(cfg.Hooks)
 		be, err := storage.NewBackend(eng, cfg.Spec.Storage.AggregateBps, cfg.Spec.Storage.PerClientBps)
 		if err != nil {
 			return nil, err
@@ -103,6 +112,7 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 		if _, err := eng.RunAll(); err != nil {
 			return nil, err
 		}
+		engStats = eng.Stats()
 		for _, f := range finish {
 			if f > makespan {
 				makespan = f
@@ -158,5 +168,6 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 		Duration:  units.Seconds(makespan),
 		Profile:   &cluster.LoadProfile{Phases: []cluster.Phase{phase}},
 		Shared:    shared,
+		Engine:    engStats,
 	}, nil
 }

@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/units"
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -161,6 +164,44 @@ func Run(n int, fn func(c *Comm) error) error {
 	return nil
 }
 
+// RunTraced is Run with per-rank observability: each rank's execution is
+// recorded as a span on the "mpirt" track of rec. The runtime has no
+// virtual clock, so spans lie on a logical message clock — the world's
+// cumulative message count at rank start and finish — which still shows
+// which ranks were communication-active over which part of the run. Rank
+// goroutines record concurrently; rec must be safe for concurrent use
+// (obs.Tracer is). A nil rec degrades to plain Run.
+func RunTraced(n int, rec obs.Recorder, fn func(c *Comm) error) error {
+	if rec == nil {
+		return Run(n, fn)
+	}
+	return Run(n, func(c *Comm) error {
+		start := c.world.msgs.Load()
+		err := fn(c)
+		end := c.world.msgs.Load()
+		attrs := []obs.Attr{
+			obs.Int("rank", c.rank),
+			obs.Int("world", n),
+			obs.Int64("bytes_sent_world", c.world.bytes.Load()),
+		}
+		if err != nil {
+			attrs = append(attrs, obs.Str("error", err.Error()))
+		}
+		rec.Span(obs.Span{
+			Track: "mpirt",
+			Name:  fmt.Sprintf("rank %d", c.rank),
+			Start: units.Seconds(start),
+			End:   units.Seconds(end),
+			Attrs: attrs,
+		})
+		rec.Count("mpirt.ranks", 1)
+		if err != nil {
+			rec.Count("mpirt.rank_failures", 1)
+		}
+		return err
+	})
+}
+
 // Rank returns this process's rank within the communicator.
 func (c *Comm) Rank() int { return c.rank }
 
@@ -218,6 +259,12 @@ func (c *Comm) Recv(src, tag int) (data []float64, fromRank, gotTag int, err err
 	}
 	match := func(m message) bool {
 		if m.commID != c.id {
+			return false
+		}
+		// Collective traffic travels on reserved negative tags; AnyTag is
+		// a user-level wildcard and must never consume it (a stray token
+		// from an aborted collective would otherwise satisfy a Recv).
+		if tag == AnyTag && m.tag < 0 {
 			return false
 		}
 		if src != AnySource && m.src != src {

@@ -1,0 +1,115 @@
+package mpirt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunTracedRecordsEveryRank drives the collectives from many ranks
+// recording concurrently into one tracer — under -race this doubles as
+// the concurrency-safety test for span recording.
+func TestRunTracedRecordsEveryRank(t *testing.T) {
+	const n = 16
+	tracer := obs.NewTracer()
+	err := RunTraced(n, tracer, func(c *Comm) error {
+		buf := []float64{float64(c.Rank())}
+		out := make([]float64, 1)
+		for i := 0; i < 20; i++ {
+			if err := c.Allreduce(OpSum, buf, out); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tracer.Spans()
+	if len(spans) != n {
+		t.Fatalf("recorded %d spans, want one per rank (%d)", len(spans), n)
+	}
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if s.Track != "mpirt" {
+			t.Errorf("span on track %q, want mpirt", s.Track)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %s runs backwards: [%v, %v]", s.Name, s.Start, s.End)
+		}
+		seen[s.Name] = true
+	}
+	for r := 0; r < n; r++ {
+		if !seen[fmt.Sprintf("rank %d", r)] {
+			t.Errorf("no span for rank %d", r)
+		}
+	}
+	snap := tracer.Registry().Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "mpirt.ranks" && c.Value == n {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mpirt.ranks counter missing or wrong: %+v", snap.Counters)
+	}
+}
+
+func TestRunTracedNilRecorderDegradesToRun(t *testing.T) {
+	ran := make([]bool, 4)
+	if err := RunTraced(4, nil, func(c *Comm) error {
+		ran[c.Rank()] = true
+		return c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range ran {
+		if !ok {
+			t.Errorf("rank %d did not run", r)
+		}
+	}
+}
+
+func TestRunTracedCountsFailures(t *testing.T) {
+	tracer := obs.NewTracer()
+	boom := errors.New("boom")
+	err := RunTraced(4, tracer, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom
+		}
+		return nil
+	})
+	var errs *Errs
+	if !errors.As(err, &errs) || len(errs.ByRank) != 1 {
+		t.Fatalf("err = %v, want one failed rank", err)
+	}
+	var failures float64
+	for _, c := range tracer.Registry().Snapshot().Counters {
+		if c.Name == "mpirt.rank_failures" {
+			failures = c.Value
+		}
+	}
+	if failures != 1 {
+		t.Errorf("mpirt.rank_failures = %v, want 1", failures)
+	}
+	// The failed rank's span carries the error.
+	found := false
+	for _, s := range tracer.Spans() {
+		if s.Name == "rank 2" {
+			for _, a := range s.Attrs {
+				if a.Key == "error" && a.Value == "boom" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("failed rank's span does not carry the error attribute")
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() ([]Span, []Event) {
+	spans := []Span{
+		{Track: "suite", Name: "p=8", Start: 0, End: 120.5, Attrs: []Attr{Int("procs", 8)}},
+		{Track: "HPL", Name: "attempt 1", Start: 0, End: 100, Attrs: []Attr{Str("status", "crashed")}},
+		{Track: "HPL", Name: "attempt 2", Start: 100, End: 120.5, Attrs: []Attr{Str("status", "ok")}},
+	}
+	events := []Event{
+		{Track: "HPL", Name: "crash", At: 100, Attrs: []Attr{Int("node", 3)}},
+	}
+	return spans, events
+}
+
+func TestWriteChromeTraceValidates(t *testing.T) {
+	spans, events := sampleTrace()
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, spans, events); err != nil {
+		t.Fatal(err)
+	}
+	check, err := ValidateChromeTrace(b.Bytes())
+	if err != nil {
+		t.Fatalf("own output rejected: %v\n%s", err, b.String())
+	}
+	if check.Spans != 3 || check.Instants != 1 || check.Tracks != 2 {
+		t.Errorf("check = %+v", check)
+	}
+	out := b.String()
+	// Virtual seconds land as microseconds.
+	if !strings.Contains(out, `"ts": 100000000.000`) {
+		t.Errorf("missing µs timestamp in:\n%s", out)
+	}
+	if !strings.Contains(out, `"name": "HPL"`) {
+		t.Errorf("missing track metadata in:\n%s", out)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	spans, events := sampleTrace()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, spans, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, spans, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of the same records differ")
+	}
+}
+
+func TestWriteChromeTraceRejectsNegativeSpan(t *testing.T) {
+	var b bytes.Buffer
+	err := WriteChromeTrace(&b, []Span{{Track: "t", Name: "bad", Start: 5, End: 1}}, nil)
+	if err == nil {
+		t.Error("span ending before its start accepted")
+	}
+}
+
+func TestValidateChromeTraceRejectsDamage(t *testing.T) {
+	for name, data := range map[string]string{
+		"not json":    `{"traceEvents": [`,
+		"empty":       `{"traceEvents": []}`,
+		"no name":     `{"traceEvents": [{"ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}]}`,
+		"bad phase":   `{"traceEvents": [{"name": "x", "ph": "Q", "ts": 0, "pid": 1, "tid": 1}]}`,
+		"no dur":      `{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]}`,
+		"negative ts": `{"traceEvents": [{"name": "x", "ph": "i", "ts": -1, "pid": 1, "tid": 1}]}`,
+		"no tid":      `{"traceEvents": [{"name": "x", "ph": "i", "ts": 0, "pid": 1}]}`,
+	} {
+		if _, err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add("runs", 1)
+	r.Add("runs", 2)
+	r.SetGauge("procs", 64)
+	r.SetGauge("procs", 128)
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Name != "runs" || s.Counters[0].Value != 3 {
+		t.Errorf("counters = %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 128 {
+		t.Errorf("gauges = %+v", s.Gauges)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterHistogram("lat", []float64{1, 10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		r.Observe("lat", v)
+	}
+	s := r.Snapshot()
+	h := s.Histograms[0]
+	// 0.5 and 1 land in bucket <=1; 5 in <=10; 50 in <=100; 500 overflows.
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Count != 5 || h.Sum != 556.5 {
+		t.Errorf("count=%d sum=%v", h.Count, h.Sum)
+	}
+}
+
+func TestRegistryHistogramErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterHistogram("x", nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if err := r.RegisterHistogram("x", []float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	r.Observe("seen", 1)
+	if err := r.RegisterHistogram("seen", []float64{1}); err == nil {
+		t.Error("re-registration accepted")
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Add(name, 1)
+			r.SetGauge(name, 2)
+			r.Observe(name, 3)
+		}
+		var b bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	if a != b {
+		t.Errorf("snapshot JSON depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"counters"`) || !strings.Contains(a, `"histograms"`) {
+		t.Errorf("snapshot JSON missing sections:\n%s", a)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Span(Span{Track: "t", Name: "n"})
+	tr.Event(Event{Track: "t", Name: "n"})
+	tr.Count("c", 1)
+	tr.Gauge("g", 1)
+	tr.Observe("h", 1)
+	if tr.Spans() != nil || tr.Events() != nil || tr.Registry() != nil {
+		t.Error("nil tracer retained state")
+	}
+	tr.Replay([]Span{{}}, nil)
+	if got, _ := tr.Since(tr.Mark()); got != nil {
+		t.Error("nil tracer replayed spans")
+	}
+	// Discard must accept everything silently too.
+	Discard.Span(Span{})
+	Discard.Event(Event{})
+	Discard.Count("c", 1)
+	Discard.Gauge("g", 1)
+	Discard.Observe("h", 1)
+}
+
+func TestTracerMarkSinceReplay(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(Span{Track: "a", Name: "s1"})
+	m := tr.Mark()
+	tr.Span(Span{Track: "a", Name: "s2"})
+	tr.Event(Event{Track: "a", Name: "e1"})
+	spans, events := tr.Since(m)
+	if len(spans) != 1 || spans[0].Name != "s2" || len(events) != 1 {
+		t.Fatalf("Since = %v, %v", spans, events)
+	}
+	tr2 := NewTracer()
+	tr2.Replay(spans, events)
+	if len(tr2.Spans()) != 1 || len(tr2.Events()) != 1 {
+		t.Error("replay lost records")
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines; run with
+// -race this pins that concurrent span recording is safe.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const workers, each = 16, 200
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Span(Span{Track: "w", Name: "s", Attrs: []Attr{Int("worker", w)}})
+				tr.Event(Event{Track: "w", Name: "e"})
+				tr.Count("n", 1)
+				tr.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != workers*each {
+		t.Errorf("spans = %d, want %d", got, workers*each)
+	}
+	s := tr.Registry().Snapshot()
+	if s.Counters[0].Value != workers*each {
+		t.Errorf("counter = %v", s.Counters[0].Value)
+	}
+}

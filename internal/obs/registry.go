@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultBuckets are the histogram bounds used when a metric is observed
+// without an explicit registration: a coarse log scale wide enough for
+// both sub-second meter windows and multi-hour campaign times.
+var DefaultBuckets = []float64{0.1, 1, 10, 60, 300, 1800, 7200, 43200}
+
+// Registry is a zero-dependency metrics store: counters, gauges and
+// fixed-bucket histograms, keyed by name. It is safe for concurrent use
+// and snapshots deterministically (names sorted, values rendered with
+// round-trip formatting).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf bucket is implicit
+	counts []uint64  // len(bounds)+1
+	count  uint64
+	sum    float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+	}
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge sets the named gauge to v.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// RegisterHistogram pins explicit bucket bounds (ascending upper bounds;
+// an overflow bucket is implicit) for the named histogram. Registering
+// after the first observation, or with unsorted bounds, is an error.
+func (r *Registry) RegisterHistogram(name string, bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("obs: histogram %q needs at least one bound", name)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return fmt.Errorf("obs: histogram %q bounds not ascending at %v", name, bounds[i])
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hists[name]; ok {
+		return fmt.Errorf("obs: histogram %q already has observations", name)
+	}
+	cp := append([]float64(nil), bounds...)
+	r.hists[name] = &histogram{bounds: cp, counts: make([]uint64, len(cp)+1)}
+	return nil
+}
+
+// Observe adds v to the named histogram, creating it with DefaultBuckets
+// on first use.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &histogram{bounds: DefaultBuckets, counts: make([]uint64, len(DefaultBuckets)+1)}
+		r.hists[name] = h
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	r.mu.Unlock()
+}
+
+// MetricSnap is one counter or gauge in a snapshot.
+type MetricSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnap is one histogram in a snapshot.
+type HistSnap struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1; last is overflow
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a deterministic point-in-time copy of a registry.
+type Snapshot struct {
+	Counters   []MetricSnap `json:"counters,omitempty"`
+	Gauges     []MetricSnap `json:"gauges,omitempty"`
+	Histograms []HistSnap   `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state, sorted by metric name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, v := range r.counters {
+		s.Counters = append(s.Counters, MetricSnap{Name: name, Value: v})
+	}
+	for name, v := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricSnap{Name: name, Value: v})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistSnap{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON encodes the snapshot as indented JSON. The encoding is built
+// by hand so that it is byte-deterministic (ordered fields, round-trip
+// float formatting) — diffing two runs' metrics must be possible with
+// standard tools.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b.WriteString("{\n")
+	section := func(title string, items []MetricSnap, comma bool) {
+		fmt.Fprintf(&b, "  %q: [\n", title)
+		for i, m := range items {
+			fmt.Fprintf(&b, "    {\"name\": %q, \"value\": %s}", m.Name, num(m.Value))
+			if i < len(items)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  ]")
+		if comma {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	section("counters", s.Counters, true)
+	section("gauges", s.Gauges, true)
+	fmt.Fprintf(&b, "  %q: [\n", "histograms")
+	for i, h := range s.Histograms {
+		fmt.Fprintf(&b, "    {\"name\": %q, \"bounds\": [", h.Name)
+		for j, bound := range h.Bounds {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(num(bound))
+		}
+		b.WriteString("], \"counts\": [")
+		for j, c := range h.Counts {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.FormatUint(c, 10))
+		}
+		fmt.Fprintf(&b, "], \"count\": %d, \"sum\": %s}", h.Count, num(h.Sum))
+		if i < len(s.Histograms)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  ]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile writes the snapshot to path as deterministic JSON.
+func (s Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import "sync"
+
+// Tracer is the standard Recorder: it collects spans and events in
+// memory (append-only, mutex-protected) and folds metric updates into a
+// Registry. A nil *Tracer is valid and discards everything, so call
+// sites can thread one `*Tracer` field through unconditionally and the
+// disabled path stays provably inert.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []Span
+	events []Event
+	reg    *Registry
+}
+
+// NewTracer returns an empty tracer with a fresh registry.
+func NewTracer() *Tracer { return &Tracer{reg: NewRegistry()} }
+
+// Span records a completed span.
+func (t *Tracer) Span(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Event records an instant event.
+func (t *Tracer) Event(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Count adds delta to the named counter.
+func (t *Tracer) Count(name string, delta float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Add(name, delta)
+}
+
+// Gauge sets the named gauge.
+func (t *Tracer) Gauge(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.reg.SetGauge(name, v)
+}
+
+// Observe adds v to the named histogram.
+func (t *Tracer) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Observe(name, v)
+}
+
+// Registry exposes the tracer's metrics store (nil on a nil tracer).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Events returns a copy of the recorded events in recording order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Mark is a position in a tracer's streams, used to slice out the
+// records of one unit of work (a benchmark cell) for journaling.
+type Mark struct{ spans, events int }
+
+// Mark returns the current stream position.
+func (t *Tracer) Mark() Mark {
+	if t == nil {
+		return Mark{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Mark{spans: len(t.spans), events: len(t.events)}
+}
+
+// Since copies every span and event recorded after m.
+func (t *Tracer) Since(m Mark) ([]Span, []Event) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans[m.spans:]...),
+		append([]Event(nil), t.events[m.events:]...)
+}
+
+// Replay appends previously-recorded spans and events verbatim — how a
+// resumed sweep restores the trace of journal-cached cells.
+func (t *Tracer) Replay(spans []Span, events []Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.events = append(t.events, events...)
+	t.mu.Unlock()
+}

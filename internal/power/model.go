@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/series"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -172,8 +173,20 @@ func WattsUpPRO(seed uint64) MeterConfig {
 
 // Meter is a simulated wall-plug power meter.
 type Meter struct {
-	cfg MeterConfig
+	cfg    MeterConfig
+	rec    obs.Recorder
+	origin units.Seconds
 }
+
+// Instrument attaches an observability recorder: every sampling window
+// becomes a span on the "meter" track carrying sample/drop/glitch
+// counts. Recording is passive — the sampled trace is identical with or
+// without it.
+func (mt *Meter) Instrument(rec obs.Recorder) { mt.rec = rec }
+
+// SetOrigin places subsequent sampling-window spans at the given offset
+// on the campaign's virtual-time axis (profiles themselves start at 0).
+func (mt *Meter) SetOrigin(at units.Seconds) { mt.origin = at }
 
 // NewMeter validates the configuration and returns a meter.
 func NewMeter(cfg MeterConfig) (*Meter, error) {
@@ -214,6 +227,7 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 	}
 	rng := sim.NewRNG(mt.cfg.Seed)
 	out := series.New(int(float64(end-start)/float64(mt.cfg.Interval)) + 2)
+	dropped, glitched := 0, 0
 	for at := start; ; at += mt.cfg.Interval {
 		clamped := at
 		last := false
@@ -233,6 +247,7 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 		// consumes exactly the seed noise stream.
 		if mt.cfg.GlitchRate > 0 && rng.Float64() < mt.cfg.GlitchRate {
 			v += rng.NormAt(0, mt.cfg.GlitchWatts)
+			glitched++
 		}
 		if q := mt.cfg.QuantumWatts; q > 0 {
 			v = float64(int64(v/q+0.5)) * q
@@ -243,6 +258,7 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 		drop := mt.cfg.DropRate > 0 && rng.Float64() < mt.cfg.DropRate
 		// Never drop the boundary samples: the trace must span the window.
 		if drop && at != start && !last {
+			dropped++
 			continue
 		}
 		if err := out.Append(clamped, units.Watts(v)); err != nil {
@@ -251,6 +267,25 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 		if last {
 			break
 		}
+	}
+	if mt.rec != nil {
+		mt.rec.Span(obs.Span{
+			Track: "meter",
+			Name:  "window",
+			Start: mt.origin + start,
+			End:   mt.origin + end,
+			Attrs: []obs.Attr{
+				obs.Int("samples", out.Len()),
+				obs.Int("dropped", dropped),
+				obs.Int("glitched", glitched),
+				obs.Secs("interval", mt.cfg.Interval),
+			},
+		})
+		mt.rec.Count("meter.windows", 1)
+		mt.rec.Count("meter.samples", float64(out.Len()))
+		mt.rec.Count("meter.samples_dropped", float64(dropped))
+		mt.rec.Count("meter.samples_glitched", float64(glitched))
+		mt.rec.Observe("meter.window_seconds", float64(end-start))
 	}
 	return out, nil
 }

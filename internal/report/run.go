@@ -1,0 +1,102 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RunRow is one benchmark of one suite run, flattened for the run report.
+// The fields mirror suite.BenchmarkRun but stay plain so the report
+// package keeps no dependency on the pipeline it describes.
+type RunRow struct {
+	System           string
+	Procs            int
+	Bench            string
+	Status           string // "ok", "recovered", "failed"
+	Perf             float64
+	Metric           string
+	MeanWatts        float64
+	PeakWatts        float64
+	Seconds          float64
+	WastedSeconds    float64
+	EnergyJ          float64
+	Retries          int
+	GapsFilled       int
+	OutliersRejected int
+}
+
+// KV is one line of a report's summary block.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// RunReport is the human-readable breakdown of a campaign: one row per
+// (run, benchmark) showing where the time and energy behind the TGI
+// number went, plus a totals block.
+type RunReport struct {
+	Title   string
+	Rows    []RunRow
+	Summary []KV
+}
+
+// fnum renders a float compactly (no trailing zeros, full precision).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// repairs renders the meter-repair cell.
+func repairs(gaps, outliers int) string {
+	if gaps == 0 && outliers == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dg/%do", gaps, outliers)
+}
+
+// Render writes the report as an aligned table followed by the summary.
+func (r *RunReport) Render(w io.Writer) error {
+	t := Table{
+		Title: r.Title,
+		Headers: []string{"system", "procs", "bench", "status", "perf", "metric",
+			"watts", "peak", "time_s", "wasted_s", "energy_J", "retries", "repairs"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.System,
+			strconv.Itoa(row.Procs),
+			row.Bench,
+			row.Status,
+			fnum(row.Perf),
+			row.Metric,
+			fnum(row.MeanWatts),
+			fnum(row.PeakWatts),
+			fnum(row.Seconds),
+			fnum(row.WastedSeconds),
+			fnum(row.EnergyJ),
+			strconv.Itoa(row.Retries),
+			repairs(row.GapsFilled, row.OutliersRejected),
+		)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if len(r.Summary) == 0 {
+		return nil
+	}
+	width := 0
+	for _, kv := range r.Summary {
+		if len(kv.Key) > width {
+			width = len(kv.Key)
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, kv := range r.Summary {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

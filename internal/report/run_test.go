@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *RunReport {
+	return &RunReport{
+		Title: "campaign: fire",
+		Rows: []RunRow{
+			{System: "fire", Procs: 32, Bench: "HPL", Status: "ok",
+				Perf: 13.7, Metric: "GFLOPS", MeanWatts: 297.2, PeakWatts: 301,
+				Seconds: 516, EnergyJ: 153885},
+			{System: "fire", Procs: 32, Bench: "STREAM", Status: "recovered",
+				Perf: 1234, Metric: "MBPS", MeanWatts: 280, PeakWatts: 290,
+				Seconds: 410, WastedSeconds: 80, EnergyJ: 114800, Retries: 1,
+				GapsFilled: 2, OutliersRejected: 1},
+			{System: "fire", Procs: 32, Bench: "IOzone", Status: "failed",
+				Metric: "MBPS", Retries: 2, WastedSeconds: 250},
+		},
+		Summary: []KV{
+			{"benchmarks", "3 (1 recovered, 1 failed)"},
+			{"virtual time", "1256 s (330 s wasted)"},
+			{"energy", "268685 J"},
+		},
+	}
+}
+
+func TestRunReportRender(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleReport().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"campaign: fire",
+		"system", "bench", "status", "wasted_s", "repairs",
+		"recovered", "failed",
+		"2g/1o",      // repair cell
+		"153885",     // energy survives formatting
+		"benchmarks", // summary keys
+		"1256 s (330 s wasted)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Clean rows show "-" in the repair column.
+	line := lineContaining(t, out, "HPL")
+	if !strings.Contains(line, "-") {
+		t.Errorf("clean row lacks repair placeholder: %q", line)
+	}
+}
+
+func TestRunReportRenderNoSummary(t *testing.T) {
+	r := sampleReport()
+	r.Summary = nil
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "\n\n") {
+		t.Error("summary-free report still has a summary gap")
+	}
+}
+
+func TestRunReportDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := sampleReport().Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleReport().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same report differ")
+	}
+}
+
+func lineContaining(t *testing.T, s, sub string) string {
+	t.Helper()
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	t.Fatalf("no line contains %q in:\n%s", sub, s)
+	return ""
+}

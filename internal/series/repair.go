@@ -8,6 +8,17 @@ import (
 	"repro/internal/units"
 )
 
+// Gap locates one contiguous hole in a meter's sampling cadence: the
+// surviving samples bracketing it and how many samples were synthesised
+// inside. The observability layer turns these into trace events so an
+// audited run shows *where* the measurement was reconstructed, not just
+// how often.
+type Gap struct {
+	From   units.Seconds // last real sample before the hole
+	To     units.Seconds // first real sample after the hole
+	Filled int           // samples synthesised in between
+}
+
 // RepairReport counts what the gap-tolerant repair pass did to a trace.
 type RepairReport struct {
 	// GapsFilled is the number of samples synthesised where the meter's
@@ -16,6 +27,10 @@ type RepairReport struct {
 	// OutliersRejected is the number of glitch samples replaced by the
 	// interpolation of their neighbours.
 	OutliersRejected int
+	// Gaps locates each contiguous hole that was filled.
+	Gaps []Gap
+	// OutlierTimes records when each rejected glitch sample occurred.
+	OutlierTimes []units.Seconds
 }
 
 // Repair makes a meter trace from a faulty measurement path usable: glitch
@@ -94,6 +109,7 @@ func (t *Trace) Repair(interval units.Seconds, sigma float64) (*Trace, RepairRep
 			powers[i] = powers[lo] + units.Watts(frac)*(powers[hi]-powers[lo])
 		}
 		rep.OutliersRejected++
+		rep.OutlierTimes = append(rep.OutlierTimes, t.samples[i].At)
 	}
 
 	// Pass 2: fill cadence gaps by linear interpolation between the
@@ -102,6 +118,7 @@ func (t *Trace) Repair(interval units.Seconds, sigma float64) (*Trace, RepairRep
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			a, b := t.samples[i-1], t.samples[i]
+			filled := 0
 			for at := a.At + interval; at < b.At-interval/2; at += interval {
 				frac := float64(at-a.At) / float64(b.At-a.At)
 				p := powers[i-1] + units.Watts(frac)*(powers[i]-powers[i-1])
@@ -109,6 +126,10 @@ func (t *Trace) Repair(interval units.Seconds, sigma float64) (*Trace, RepairRep
 					return nil, rep, err
 				}
 				rep.GapsFilled++
+				filled++
+			}
+			if filled > 0 {
+				rep.Gaps = append(rep.Gaps, Gap{From: a.At, To: b.At, Filled: filled})
 			}
 		}
 		if err := out.Append(t.samples[i].At, powers[i]); err != nil {

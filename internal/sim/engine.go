@@ -44,13 +44,34 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Hooks receives engine lifecycle callbacks — the observability layer's
+// attachment points. Every field is optional; a nil Hooks (the default)
+// costs one pointer comparison per event. Hooks observe, they must not
+// schedule: the engine's determinism contract is that identical inputs
+// dispatch identical event sequences with or without hooks attached.
+type Hooks struct {
+	// EventDispatched fires before each event's callback runs, with the
+	// event's virtual time and the live queue depth behind it.
+	EventDispatched func(at units.Seconds, queueDepth int)
+	// ProcessBlocked fires when a job starts waiting on a shared
+	// resource; active is the job count now contending for it.
+	ProcessBlocked func(at units.Seconds, active int)
+	// ProcessResumed fires when a job's resource wait completes.
+	ProcessResumed func(at units.Seconds, active int)
+	// ResourceContended fires when a submission makes a shared resource
+	// multi-tenant (two or more jobs splitting its capacity).
+	ResourceContended func(at units.Seconds, active int)
+}
+
 // Engine drives the virtual clock.
 type Engine struct {
-	now    units.Seconds
-	queue  eventQueue
-	seq    uint64
-	events uint64
-	limit  uint64
+	now       units.Seconds
+	queue     eventQueue
+	seq       uint64
+	events    uint64
+	limit     uint64
+	peakDepth int
+	hooks     *Hooks
 }
 
 // NewEngine returns an engine with the clock at zero. The engine refuses to
@@ -65,6 +86,36 @@ func NewEngine(limit uint64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() units.Seconds { return e.now }
+
+// SetHooks attaches lifecycle callbacks (nil detaches them).
+func (e *Engine) SetHooks(h *Hooks) { e.hooks = h }
+
+// Hooks returns the attached lifecycle callbacks, if any. Resources
+// built on the engine use this to share its attachment point.
+func (e *Engine) Hooks() *Hooks { return e.hooks }
+
+// Stats is a point-in-time summary of the engine's work, exposed so
+// event-driven benchmark models can report how hard the kernel worked
+// and how close a run came to the event-limit backstop.
+type Stats struct {
+	// Events is the number of events dispatched so far.
+	Events uint64 `json:"events"`
+	// PeakQueueDepth is the largest number of events ever queued at once.
+	PeakQueueDepth int `json:"peak_queue_depth"`
+	// Limit is the engine's event budget.
+	Limit uint64 `json:"limit"`
+	// Headroom is how many more events the budget allows.
+	Headroom uint64 `json:"headroom"`
+}
+
+// Stats returns the engine's current work summary.
+func (e *Engine) Stats() Stats {
+	s := Stats{Events: e.events, PeakQueueDepth: e.peakDepth, Limit: e.limit}
+	if e.limit > e.events {
+		s.Headroom = e.limit - e.events
+	}
+	return s
+}
 
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle struct{ ev *event }
@@ -93,6 +144,9 @@ func (e *Engine) At(at units.Seconds, fn func()) (Handle, error) {
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if d := len(e.queue); d > e.peakDepth {
+		e.peakDepth = d
+	}
 	return Handle{ev: ev}, nil
 }
 
@@ -112,10 +166,18 @@ func (e *Engine) Step() (bool, error) {
 			continue
 		}
 		if e.events >= e.limit {
-			return false, fmt.Errorf("%w: limit %d at t=%v", ErrEventLimit, e.limit, e.now)
+			// Name the virtual time and queue state so a tripped backstop
+			// is diagnosable: a runaway loop shows a frozen clock, a
+			// genuinely huge workload a steadily advancing one.
+			return false, fmt.Errorf(
+				"%w: %d events dispatched (limit %d) at virtual time t=%v with %d still pending",
+				ErrEventLimit, e.events, e.limit, e.now, e.queue.Len()+1)
 		}
 		e.events++
 		e.now = ev.at
+		if h := e.hooks; h != nil && h.EventDispatched != nil {
+			h.EventDispatched(ev.at, e.queue.Len())
+		}
 		ev.fn()
 		return true, nil
 	}

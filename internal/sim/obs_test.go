@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestEngineStats(t *testing.T) {
+	e := NewEngine(100)
+	for i := 0; i < 5; i++ {
+		if _, err := e.At(units.Seconds(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.Events != 0 || s.PeakQueueDepth != 5 || s.Limit != 100 || s.Headroom != 100 {
+		t.Errorf("pre-run stats = %+v", s)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	s = e.Stats()
+	if s.Events != 5 || s.PeakQueueDepth != 5 || s.Headroom != 95 {
+		t.Errorf("post-run stats = %+v", s)
+	}
+}
+
+func TestEngineStatsHeadroomAtLimit(t *testing.T) {
+	e := NewEngine(2)
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(0, reschedule)
+	_, err := e.RunAll()
+	if !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := e.Stats(); s.Headroom != 0 {
+		t.Errorf("headroom at limit = %d", s.Headroom)
+	}
+}
+
+func TestEngineLimitErrorNamesVirtualTime(t *testing.T) {
+	e := NewEngine(3)
+	var reschedule func()
+	reschedule = func() { e.After(2, reschedule) }
+	e.After(0, reschedule)
+	_, err := e.RunAll()
+	if !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	msg := err.Error()
+	// Three events dispatch at t=0, 2, 4; the fourth (t=6) trips the
+	// backstop with the clock still at 4.
+	for _, want := range []string{"t=4 s", "3 events dispatched", "limit 3", "pending"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("limit error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestEngineDispatchHook(t *testing.T) {
+	e := NewEngine(0)
+	var times []units.Seconds
+	e.SetHooks(&Hooks{EventDispatched: func(at units.Seconds, depth int) {
+		times = append(times, at)
+		if depth < 0 {
+			t.Errorf("negative queue depth %d", depth)
+		}
+	}})
+	for _, at := range []units.Seconds{3, 1, 2} {
+		if _, err := e.At(at, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 || times[0] != 1 || times[2] != 3 {
+		t.Errorf("dispatch times = %v", times)
+	}
+}
+
+func TestResourceHooks(t *testing.T) {
+	e := NewEngine(0)
+	var blocked, resumed, contended int
+	e.SetHooks(&Hooks{
+		ProcessBlocked:    func(units.Seconds, int) { blocked++ },
+		ProcessResumed:    func(units.Seconds, int) { resumed++ },
+		ResourceContended: func(at units.Seconds, active int) { contended++ },
+	})
+	r, err := NewSharedResource(e, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Submit(10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if blocked != 3 || resumed != 3 {
+		t.Errorf("blocked=%d resumed=%d, want 3/3", blocked, resumed)
+	}
+	// The second and third submissions make the resource multi-tenant.
+	if contended != 2 {
+		t.Errorf("contended = %d, want 2", contended)
+	}
+}
+
+// TestHooksDoNotPerturbSchedule pins the determinism contract: the same
+// workload dispatches identically with and without hooks attached.
+func TestHooksDoNotPerturbSchedule(t *testing.T) {
+	runIt := func(h *Hooks) []units.Seconds {
+		e := NewEngine(0)
+		e.SetHooks(h)
+		r, err := NewSharedResource(e, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var finish []units.Seconds
+		for i := 0; i < 4; i++ {
+			if err := r.Submit(float64(4+i), func() { finish = append(finish, e.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	bare := runIt(nil)
+	hooked := runIt(&Hooks{
+		EventDispatched:   func(units.Seconds, int) {},
+		ProcessBlocked:    func(units.Seconds, int) {},
+		ProcessResumed:    func(units.Seconds, int) {},
+		ResourceContended: func(units.Seconds, int) {},
+	})
+	if len(bare) != len(hooked) {
+		t.Fatalf("completion counts differ: %v vs %v", bare, hooked)
+	}
+	for i := range bare {
+		if bare[i] != hooked[i] {
+			t.Errorf("completion %d drifted: %v vs %v", i, bare[i], hooked[i])
+		}
+	}
+}
+
+// BenchmarkEngineDispatch measures the hot path: scheduling plus
+// dispatching one event through the heap.
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := NewEngine(uint64(b.N) + 1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	if _, err := e.After(0, tick); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

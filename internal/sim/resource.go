@@ -137,6 +137,9 @@ func (r *SharedResource) complete() {
 	}
 	r.reschedule()
 	for _, j := range finished {
+		if h := r.eng.hooks; h != nil && h.ProcessResumed != nil {
+			h.ProcessResumed(r.eng.Now(), len(r.jobs))
+		}
 		if j.done != nil {
 			j.done()
 		}
@@ -151,6 +154,14 @@ func (r *SharedResource) Submit(amount float64, done func()) error {
 	r.advance()
 	j := &srJob{remaining: amount, done: done}
 	r.jobs[j] = struct{}{}
+	if h := r.eng.hooks; h != nil {
+		if h.ProcessBlocked != nil {
+			h.ProcessBlocked(r.eng.Now(), len(r.jobs))
+		}
+		if h.ResourceContended != nil && len(r.jobs) > 1 {
+			h.ResourceContended(r.eng.Now(), len(r.jobs))
+		}
+	}
 	r.reschedule()
 	return nil
 }

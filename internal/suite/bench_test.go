@@ -1,0 +1,36 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// BenchmarkSweep runs the whole three-benchmark pipeline at one process
+// count — the unit of work a campaign repeats per sweep point.
+func BenchmarkSweep(b *testing.B) {
+	spec := cluster.Testbed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(DefaultConfig(spec, 4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepTraced is BenchmarkSweep under a live tracer; the delta
+// between the two is the instrumentation overhead.
+func BenchmarkSweepTraced(b *testing.B) {
+	spec := cluster.Testbed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(spec, 4)
+		cfg.Trace = obs.NewTracer()
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

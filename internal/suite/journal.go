@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // Journal checkpoints completed (system, procs, placement, benchmark)
@@ -15,11 +17,31 @@ import (
 // an independent, deterministically-seeded computation, so a resumed
 // sweep's output is bit-for-bit the uninterrupted one.
 //
+// When the campaign is traced, each cell also checkpoints the spans and
+// events it emitted; a resumed sweep replays them into the live tracer,
+// so the final trace file covers the whole campaign, not just the cells
+// executed after the restart.
+//
 // The file is rewritten atomically (temp file + rename) after every cell:
 // a crash mid-checkpoint leaves the previous consistent journal behind.
 type Journal struct {
-	path  string
-	cells map[string]BenchmarkRun
+	path   string
+	cells  map[string]BenchmarkRun
+	traces map[string]CellTrace
+}
+
+// CellTrace is the observability stream one journaled cell produced.
+type CellTrace struct {
+	Spans  []obs.Span  `json:"spans,omitempty"`
+	Events []obs.Event `json:"events,omitempty"`
+}
+
+// journalFile is the on-disk v2 layout. The v1 layout was a bare
+// map[string]BenchmarkRun; OpenJournal still reads it (cell keys always
+// contain '|', so the "cells" key can never collide with one).
+type journalFile struct {
+	Cells  map[string]BenchmarkRun `json:"cells"`
+	Traces map[string]CellTrace    `json:"traces,omitempty"`
 }
 
 // CellKey names one benchmark of one sweep point.
@@ -28,9 +50,10 @@ func CellKey(system string, procs int, placement, bench string) string {
 }
 
 // OpenJournal loads the journal at path, or starts an empty one when the
-// file does not exist yet.
+// file does not exist yet. Both the current layout and the pre-trace v1
+// layout (a bare cell map) are accepted.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{path: path, cells: map[string]BenchmarkRun{}}
+	j := &Journal{path: path, cells: map[string]BenchmarkRun{}, traces: map[string]CellTrace{}}
 	b, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return j, nil
@@ -38,6 +61,24 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("suite: journal %s is corrupt (%v); delete it to start over", path, err)
+	}
+	if _, v2 := probe["cells"]; v2 {
+		var f journalFile
+		if err := json.Unmarshal(b, &f); err != nil {
+			return nil, fmt.Errorf("suite: journal %s is corrupt (%v); delete it to start over", path, err)
+		}
+		if f.Cells != nil {
+			j.cells = f.Cells
+		}
+		if f.Traces != nil {
+			j.traces = f.Traces
+		}
+		return j, nil
+	}
+	// v1: the whole file is the cell map.
 	if err := json.Unmarshal(b, &j.cells); err != nil {
 		return nil, fmt.Errorf("suite: journal %s is corrupt (%v); delete it to start over", path, err)
 	}
@@ -54,6 +95,23 @@ func (j *Journal) Len() int { return len(j.cells) }
 func (j *Journal) Lookup(key string) (BenchmarkRun, bool) {
 	run, ok := j.cells[key]
 	return run, ok
+}
+
+// LookupTrace returns the observability stream checkpointed for a cell.
+// Cells recorded untraced (or by the v1 layout) have none.
+func (j *Journal) LookupTrace(key string) (CellTrace, bool) {
+	tr, ok := j.traces[key]
+	return tr, ok
+}
+
+// SetTrace stages a cell's observability stream without persisting; the
+// next Record flushes it together with the cell. Call it right before
+// Record so a crash between the two cannot strand a trace.
+func (j *Journal) SetTrace(key string, tr CellTrace) {
+	if len(tr.Spans) == 0 && len(tr.Events) == 0 {
+		return
+	}
+	j.traces[key] = tr
 }
 
 // Record checkpoints one cell and persists the journal.
@@ -74,7 +132,11 @@ func (j *Journal) Remove() error {
 
 // flush writes the journal atomically.
 func (j *Journal) flush() error {
-	b, err := json.MarshalIndent(j.cells, "", "  ")
+	f := journalFile{Cells: j.cells}
+	if len(j.traces) > 0 {
+		f.Traces = j.traces
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}

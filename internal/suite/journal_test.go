@@ -3,10 +3,12 @@ package suite
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func TestJournalRoundTrip(t *testing.T) {
@@ -73,6 +75,68 @@ func TestJournalFailedRunsAreCheckpointedToo(t *testing.T) {
 	got, ok := j2.Lookup(key)
 	if !ok || got.Status != StatusFailed || got.Error != failed.Error {
 		t.Errorf("failed run did not survive the journal: %+v", got)
+	}
+}
+
+func TestJournalTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, _ := OpenJournal(path)
+	key := CellKey("testbed", 4, "cyclic", "HPL")
+	tr := CellTrace{
+		Spans: []obs.Span{{Track: "HPL", Name: "attempt 1", Start: 10, End: 30,
+			Attrs: []obs.Attr{obs.Str("outcome", "ok")}}},
+		Events: []obs.Event{{Track: "HPL", Name: "fault: straggler", At: 12}},
+	}
+	j.SetTrace(key, tr)
+	if err := j.Record(key, BenchmarkRun{Samples: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j2.LookupTrace(key)
+	if !ok {
+		t.Fatal("trace not found after reopen")
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("trace round trip mangled:\n%+v\n%+v", got, tr)
+	}
+	if _, ok := j2.LookupTrace(CellKey("testbed", 8, "cyclic", "HPL")); ok {
+		t.Error("LookupTrace matched a different cell")
+	}
+	// An empty trace is not staged at all.
+	j2.SetTrace(CellKey("testbed", 8, "cyclic", "HPL"), CellTrace{})
+	if _, ok := j2.LookupTrace(CellKey("testbed", 8, "cyclic", "HPL")); ok {
+		t.Error("empty trace was staged")
+	}
+}
+
+func TestJournalReadsLegacyFormat(t *testing.T) {
+	// A pre-trace journal is a bare map of cell key to run.
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	legacy := `{"testbed|4|cyclic|HPL": {"measurement": {"benchmark": "HPL", "metric": "GFLOPS"}, "peak_power": 0, "samples": 7}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("legacy journal rejected: %v", err)
+	}
+	run, ok := j.Lookup(CellKey("testbed", 4, "cyclic", "HPL"))
+	if !ok || run.Samples != 7 {
+		t.Fatalf("legacy cell not found: %+v ok=%v", run, ok)
+	}
+	// Recording upgrades the file to the current layout in place.
+	if err := j.Record(CellKey("testbed", 8, "cyclic", "HPL"), BenchmarkRun{Samples: 9}); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Errorf("upgraded journal has %d cells, want 2", j2.Len())
 	}
 }
 

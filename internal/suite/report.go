@@ -1,0 +1,66 @@
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// BuildReport flattens suite results into the human-readable run report:
+// one row per (run, benchmark) breaking the campaign down into the time,
+// energy, retries and meter repairs behind each TGI input, plus a totals
+// block.
+func BuildReport(title string, results []*Result) *report.RunReport {
+	r := &report.RunReport{Title: title}
+	var (
+		benchmarks, recovered, failed int
+		retries, gaps, outliers       int
+		seconds, wasted, energy       float64
+	)
+	for _, res := range results {
+		for _, b := range res.Runs {
+			m := b.Measurement
+			r.Rows = append(r.Rows, report.RunRow{
+				System:           res.System,
+				Procs:            res.Procs,
+				Bench:            m.Benchmark,
+				Status:           statusLabel(b.Status),
+				Perf:             m.Performance,
+				Metric:           m.Metric,
+				MeanWatts:        float64(m.Power),
+				PeakWatts:        float64(b.PeakPower),
+				Seconds:          float64(m.Time),
+				WastedSeconds:    float64(b.WastedTime),
+				EnergyJ:          float64(m.Energy),
+				Retries:          b.Retries,
+				GapsFilled:       b.GapsFilled,
+				OutliersRejected: b.OutliersRejected,
+			})
+			benchmarks++
+			switch b.Status {
+			case StatusRecovered:
+				recovered++
+			case StatusFailed:
+				failed++
+			}
+			retries += b.Retries
+			gaps += b.GapsFilled
+			outliers += b.OutliersRejected
+			seconds += float64(m.Time)
+			wasted += float64(b.WastedTime)
+			energy += float64(m.Energy)
+		}
+	}
+	r.Summary = []report.KV{
+		{Key: "runs", Value: fmt.Sprintf("%d", len(results))},
+		{Key: "benchmarks", Value: fmt.Sprintf("%d (%d recovered, %d failed)",
+			benchmarks, recovered, failed)},
+		{Key: "retries", Value: fmt.Sprintf("%d", retries)},
+		{Key: "virtual time", Value: fmt.Sprintf("%.6g s productive + %.6g s wasted",
+			seconds, wasted)},
+		{Key: "energy", Value: fmt.Sprintf("%.6g J", energy)},
+		{Key: "meter repairs", Value: fmt.Sprintf("%d gap(s) filled, %d outlier(s) rejected",
+			gaps, outliers)},
+	}
+	return r
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/series"
 	"repro/internal/sim"
@@ -72,6 +73,9 @@ type simulated struct {
 	metric  string
 	perf    float64
 	profile *cluster.LoadProfile
+	// engine, when the model ran on the discrete-event kernel, carries
+	// its work stats for the attempt's trace span.
+	engine *sim.Stats
 }
 
 // benchStep is one benchmark of a suite: a name plus the closure that runs
@@ -108,6 +112,10 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 		return nil, err
 	}
 
+	rec := cfg.Trace
+	meter.Instrument(rec)
+	clock := cfg.TraceAt
+
 	res := &Result{
 		System:      spec.Name,
 		Procs:       cfg.Procs,
@@ -118,12 +126,41 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 		if cfg.Lookup != nil {
 			if cached, ok := cfg.Lookup(st.name); ok {
 				res.Runs = append(res.Runs, cached)
+				// Advance the campaign clock past the cached cell so the
+				// rest of the timeline lands where the original run put it
+				// (resumed sweeps replay the cached cells' spans verbatim).
+				clock += cached.Measurement.Time + cached.WastedTime
 				continue
 			}
 		}
-		run, err := runStep(&cfg, spec, model, meter, meterCfg, st)
+		benchStart := clock
+		run, err := runStep(&cfg, spec, model, meter, meterCfg, st, &clock)
 		if err != nil {
 			return nil, err
+		}
+		if rec != nil {
+			rec.Span(obs.Span{
+				Track: st.name,
+				Name:  st.name,
+				Start: benchStart,
+				End:   clock,
+				Attrs: []obs.Attr{
+					obs.Str("status", statusLabel(run.Status)),
+					obs.Int("retries", run.Retries),
+					obs.Secs("wasted", run.WastedTime),
+					obs.F64("energy_joules", float64(run.Measurement.Energy)),
+				},
+			})
+			rec.Count("suite.benchmarks", 1)
+			rec.Count("suite.retries", float64(run.Retries))
+			rec.Count("suite.wasted_seconds", float64(run.WastedTime))
+			rec.Count("suite.energy_joules", float64(run.Measurement.Energy))
+			switch run.Status {
+			case StatusRecovered:
+				rec.Count("suite.benchmarks_recovered", 1)
+			case StatusFailed:
+				rec.Count("suite.benchmarks_failed", 1)
+			}
 		}
 		if cfg.OnBenchmark != nil {
 			if err := cfg.OnBenchmark(st.name, run); err != nil {
@@ -140,7 +177,32 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 				b.Measurement.Benchmark, b.Retries+1, b.Error))
 		}
 	}
+	res.TraceEnd = clock
+	if rec != nil {
+		rec.Span(obs.Span{
+			Track: "suite",
+			Name:  fmt.Sprintf("run p=%d", cfg.Procs),
+			Start: cfg.TraceAt,
+			End:   clock,
+			Attrs: []obs.Attr{
+				obs.Str("system", res.System),
+				obs.Int("procs", res.Procs),
+				obs.Str("placement", res.Placement),
+				obs.Str("degraded", fmt.Sprintf("%t", res.Degraded)),
+			},
+		})
+		rec.Count("suite.runs", 1)
+	}
 	return res, nil
+}
+
+// statusLabel renders a Status for span attributes (the zero value
+// serialises to nothing in JSON but a trace wants an explicit word).
+func statusLabel(s Status) string {
+	if s == StatusOK {
+		return "ok"
+	}
+	return string(s)
 }
 
 // runStep executes one benchmark with retries. Injected faults (crashes,
@@ -148,14 +210,52 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 // budget is exhausted, degrade to a failed BenchmarkRun; model and
 // measurement errors remain hard errors — they indicate a broken
 // configuration, not an injected failure.
+//
+// clock is the campaign's virtual-time cursor: every attempt, backoff
+// wait and crash advances it by exactly the time the accounting charges,
+// so the recorded spans tile the timeline the way the simulated campaign
+// spent it.
 func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
-	meter *power.Meter, meterCfg power.MeterConfig, st benchStep) (BenchmarkRun, error) {
+	meter *power.Meter, meterCfg power.MeterConfig, st benchStep,
+	clock *units.Seconds) (BenchmarkRun, error) {
+	rec := cfg.Trace
 	var wasted units.Seconds
 	var lastErr error
 	attempts := cfg.Retry.attempts()
+	// attemptSpan charges elapsed to the campaign clock and records the
+	// attempt's span with its outcome.
+	attemptSpan := func(attempt int, elapsed units.Seconds, outcome string, extra ...obs.Attr) {
+		if rec != nil {
+			attrs := append([]obs.Attr{
+				obs.Str("outcome", outcome),
+				obs.Int("procs", cfg.Procs),
+			}, extra...)
+			rec.Span(obs.Span{
+				Track: st.name,
+				Name:  fmt.Sprintf("attempt %d", attempt+1),
+				Start: *clock,
+				End:   *clock + elapsed,
+				Attrs: attrs,
+			})
+			rec.Count("suite.attempts", 1)
+			rec.Observe("suite.attempt_seconds", float64(elapsed))
+		}
+		*clock += elapsed
+	}
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			wasted += cfg.Retry.delay(attempt)
+			delay := cfg.Retry.delay(attempt)
+			wasted += delay
+			if rec != nil {
+				rec.Span(obs.Span{
+					Track: st.name,
+					Name:  "backoff",
+					Start: *clock,
+					End:   *clock + delay,
+					Attrs: []obs.Attr{obs.Int("before_attempt", attempt+1)},
+				})
+			}
+			*clock += delay
 		}
 		sm, err := st.simulate(spec)
 		if err != nil {
@@ -163,6 +263,7 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 				// The event budget is a deliberate timeout, not a bug.
 				wasted += cfg.Retry.Timeout
 				lastErr = fmt.Errorf("attempt %d: event budget exhausted: %v", attempt+1, err)
+				attemptSpan(attempt, cfg.Retry.Timeout, "event-budget", obs.Str("error", err.Error()))
 				continue
 			}
 			return BenchmarkRun{}, fmt.Errorf("suite: %s: %w", st.name, err)
@@ -173,19 +274,23 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 			sm.profile = stretchProfile(sm.profile, inj.Slowdown)
 		}
 		dur := sm.profile.Duration()
+		inj.Record(rec, st.name, attempt, *clock, dur)
 		if cfg.Retry.Timeout > 0 && dur > cfg.Retry.Timeout {
 			wasted += cfg.Retry.Timeout
 			lastErr = fmt.Errorf("attempt %d: runtime %v exceeds timeout %v (slowdown ×%.2f)",
 				attempt+1, dur, cfg.Retry.Timeout, inj.Slowdown)
+			attemptSpan(attempt, cfg.Retry.Timeout, "timeout", obs.F64("slowdown", inj.Slowdown))
 			continue
 		}
 		if inj.CrashAt >= 0 && inj.CrashAt < dur {
 			wasted += inj.CrashAt
 			lastErr = fmt.Errorf("attempt %d: node %d crashed at t=%v of %v",
 				attempt+1, inj.CrashNode, inj.CrashAt, dur)
+			attemptSpan(attempt, inj.CrashAt, "crashed", obs.Int("node", inj.CrashNode))
 			continue
 		}
-		run, err := measureStep(cfg, model, meter, meterCfg, st, sm)
+		meter.SetOrigin(*clock)
+		run, err := measureStep(cfg, model, meter, meterCfg, st, sm, *clock)
 		if err != nil {
 			return BenchmarkRun{}, err
 		}
@@ -194,6 +299,18 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 		if attempt > 0 {
 			run.Status = StatusRecovered
 		}
+		okAttrs := []obs.Attr{
+			obs.F64("perf", run.Measurement.Performance),
+			obs.Str("metric", run.Measurement.Metric),
+			obs.F64("mean_watts", float64(run.Measurement.Power)),
+		}
+		if sm.engine != nil {
+			okAttrs = append(okAttrs,
+				obs.Int64("engine_events", int64(sm.engine.Events)),
+				obs.Int("engine_peak_queue", sm.engine.PeakQueueDepth),
+				obs.Int64("engine_headroom", int64(sm.engine.Headroom)))
+		}
+		attemptSpan(attempt, dur, "ok", okAttrs...)
 		return run, nil
 	}
 	return BenchmarkRun{
@@ -207,9 +324,12 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 
 // measureStep meters a successful attempt: sample the load profile, repair
 // the trace when the fault plan perturbs the measurement path, optionally
-// lift to facility power, and fold into a measurement.
+// lift to facility power, and fold into a measurement. origin is where the
+// attempt sits on the campaign's virtual-time axis; repair events are
+// placed relative to it.
 func measureStep(cfg *Config, model *power.Model, meter *power.Meter,
-	meterCfg power.MeterConfig, st benchStep, sm simulated) (BenchmarkRun, error) {
+	meterCfg power.MeterConfig, st benchStep, sm simulated,
+	origin units.Seconds) (BenchmarkRun, error) {
 	trace, err := meter.Measure(model, sm.profile)
 	if err != nil {
 		return BenchmarkRun{}, fmt.Errorf("suite: metering %s: %w", st.name, err)
@@ -218,6 +338,31 @@ func measureStep(cfg *Config, model *power.Model, meter *power.Meter,
 	if cfg.Faults.MeterFaulty() {
 		if trace, rep, err = trace.Repair(meterCfg.Interval, 0); err != nil {
 			return BenchmarkRun{}, fmt.Errorf("suite: repairing %s trace: %w", st.name, err)
+		}
+		if rec := cfg.Trace; rec != nil {
+			for _, g := range rep.Gaps {
+				rec.Event(obs.Event{
+					Track: "meter",
+					Name:  "repair: gap filled",
+					At:    origin + g.From,
+					Attrs: []obs.Attr{
+						obs.Str("bench", st.name),
+						obs.Secs("from", g.From),
+						obs.Secs("to", g.To),
+						obs.Int("filled", g.Filled),
+					},
+				})
+			}
+			for _, at := range rep.OutlierTimes {
+				rec.Event(obs.Event{
+					Track: "meter",
+					Name:  "repair: outlier rejected",
+					At:    origin + at,
+					Attrs: []obs.Attr{obs.Str("bench", st.name)},
+				})
+			}
+			rec.Count("repair.gaps_filled", float64(rep.GapsFilled))
+			rec.Count("repair.outliers_rejected", float64(rep.OutliersRejected))
 		}
 	}
 	if cfg.Facility != nil {

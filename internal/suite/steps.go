@@ -71,7 +71,11 @@ func paperSteps(cfg *Config) []benchStep {
 				if err != nil {
 					return simulated{}, err
 				}
-				return simulated{perf: float64(res.Aggregate) / 1e6, profile: res.Profile}, nil
+				return simulated{
+					perf:    float64(res.Aggregate) / 1e6,
+					profile: res.Profile,
+					engine:  &res.Engine,
+				}, nil
 			},
 		},
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hpl"
 	"repro/internal/iozone"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/stream"
 	"repro/internal/units"
@@ -74,6 +75,18 @@ type Config struct {
 	// benchmark (not for Lookup hits); an error aborts the run. This is
 	// the checkpoint hook of resumable sweeps.
 	OnBenchmark func(bench string, run BenchmarkRun) error
+
+	// Trace receives the run's observability stream: a span per
+	// benchmark, retry attempt, backoff wait and meter window, an event
+	// per injected fault and meter repair, and campaign metrics.
+	// Recording is strictly passive — it reads values the pipeline has
+	// already computed and can never perturb results, RNG draws or retry
+	// decisions. nil (or a nil *obs.Tracer, or obs.Discard) disables
+	// instrumentation; the output is byte-identical either way.
+	Trace obs.Recorder
+	// TraceAt offsets this run's spans on the campaign's virtual-time
+	// axis, so the runs of a sweep lay out end to end in one trace.
+	TraceAt units.Seconds
 }
 
 // Validate checks the configuration before any model runs, so a broken
@@ -163,6 +176,11 @@ type Result struct {
 	// benchmarks (core.ComputePartial renormalises the weights).
 	Degraded bool     `json:"degraded,omitempty"`
 	Warnings []string `json:"warnings,omitempty"`
+
+	// TraceEnd is where the run's campaign clock stopped (TraceAt plus
+	// all benchmark time, backoff and waste) — the TraceAt of the next
+	// run in a sweep. Bookkeeping only, never serialised.
+	TraceEnd units.Seconds `json:"-"`
 }
 
 // Measurements extracts the core measurements of the surviving benchmarks

@@ -1,0 +1,174 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// faultyConfig is a fixed-seed scenario exercising every span source:
+// a scheduled crash (retry + backoff), a certain straggler, and meter
+// faults (drops + glitches driving the repair pass).
+func faultyConfig(procs int) Config {
+	cfg := SeededConfig(cluster.Testbed(), procs, 23)
+	cfg.Faults = &faults.Plan{
+		Seed:      11,
+		Crashes:   []faults.Crash{{Benchmark: BenchHPL, Node: 1, At: 50, Attempt: 0}},
+		Straggler: &faults.Straggler{Prob: 1, ClockFactor: 0.9},
+		Meter:     &faults.Meter{DropRate: 0.08, GlitchRate: 0.02, GlitchWatts: 400},
+	}
+	cfg.Retry = RetryPolicy{MaxAttempts: 3, Backoff: 30}
+	return cfg
+}
+
+// TestTracingIsInert is the golden inertness test: the sweep's JSON output
+// must be byte-identical whether instrumentation is absent, discarded, or
+// live — tracing can never change TGI values, retry decisions or RNG draws.
+func TestTracingIsInert(t *testing.T) {
+	marshal := func(rs []*Result) []byte {
+		b, err := json.MarshalIndent(rs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	sweep := func(rec obs.Recorder) []byte {
+		var rs []*Result
+		var cursor units.Seconds
+		for _, p := range []int{2, 4, 8} {
+			cfg := faultyConfig(p)
+			cfg.Trace = rec
+			cfg.TraceAt = cursor
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cursor = r.TraceEnd
+			rs = append(rs, r)
+		}
+		return marshal(rs)
+	}
+	baseline := sweep(nil)
+	if got := sweep(obs.Discard); !bytes.Equal(got, baseline) {
+		t.Error("obs.Discard recorder changed the sweep output")
+	}
+	var nilTracer *obs.Tracer
+	if got := sweep(nilTracer); !bytes.Equal(got, baseline) {
+		t.Error("nil *obs.Tracer recorder changed the sweep output")
+	}
+	tracer := obs.NewTracer()
+	if got := sweep(tracer); !bytes.Equal(got, baseline) {
+		t.Error("live tracer changed the sweep output")
+	}
+	if len(tracer.Spans()) == 0 {
+		t.Error("live tracer recorded nothing (instrumentation not wired?)")
+	}
+}
+
+// TestGoldenChromeTrace pins the trace exporter's exact output for the
+// fixed-seed fault scenario. Regenerate with: go test ./internal/suite
+// -run TestGoldenChromeTrace -update
+func TestGoldenChromeTrace(t *testing.T) {
+	tracer := obs.NewTracer()
+	cfg := faultyConfig(4)
+	cfg.Trace = tracer
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tracer.Spans(), tracer.Events()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "faulty.trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace diverges from %s (regenerate with -update if intended)", golden)
+	}
+	// The golden trace is itself schema-valid and shows the retry attempts
+	// and the injected crash as distinct entries.
+	chk, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Spans == 0 || chk.Instants == 0 {
+		t.Errorf("golden trace = %+v, want spans and fault events", chk)
+	}
+	s := buf.String()
+	for _, want := range []string{"attempt 1", "attempt 2", "backoff", "fault: node crash", "window"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("golden trace missing %q", want)
+		}
+	}
+}
+
+// TestTraceTimelineTiles checks the campaign-clock contract: a benchmark's
+// span covers its attempts, backoffs and waste exactly, and consecutive
+// runs of a sweep lay out end to end.
+func TestTraceTimelineTiles(t *testing.T) {
+	tracer := obs.NewTracer()
+	cfg := faultyConfig(4)
+	cfg.Trace = tracer
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total units.Seconds
+	for _, b := range r.Runs {
+		total += b.Measurement.Time + b.WastedTime
+	}
+	if r.TraceEnd != total {
+		t.Errorf("TraceEnd = %v, want the accounted %v", r.TraceEnd, total)
+	}
+	// The run-level span covers [TraceAt, TraceEnd].
+	found := false
+	for _, s := range tracer.Spans() {
+		if s.Track == "suite" {
+			found = true
+			if s.Start != 0 || s.End != r.TraceEnd {
+				t.Errorf("run span = [%v, %v], want [0, %v]", s.Start, s.End, r.TraceEnd)
+			}
+		}
+	}
+	if !found {
+		t.Error("no run-level span on the suite track")
+	}
+	// A second run offset by TraceAt starts where the first ended.
+	tracer2 := obs.NewTracer()
+	cfg2 := faultyConfig(4)
+	cfg2.Trace = tracer2
+	cfg2.TraceAt = r.TraceEnd
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := float64(r2.TraceEnd - 2*r.TraceEnd); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("offset run TraceEnd = %v, want %v", r2.TraceEnd, 2*r.TraceEnd)
+	}
+	for _, s := range tracer2.Spans() {
+		if s.Start < r.TraceEnd {
+			t.Errorf("offset run span %q starts at %v, before TraceAt %v", s.Name, s.Start, r.TraceEnd)
+		}
+	}
+}
