@@ -25,9 +25,15 @@ fmt-check:
 check: build vet test race fmt-check
 
 # Benchmark the hot paths (engine dispatch, trace repair, suite sweep)
-# and keep the machine-readable trajectory in BENCH_obs.json.
+# and keep the machine-readable trajectory in BENCH_obs.json; then run
+# the same full-axis campaign on one worker and on four, side by side,
+# into BENCH_sweep.json — the scheduler's wall-clock win, measured.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkRepair|BenchmarkSweep' \
 		-benchtime 1x -json \
 		./internal/sim ./internal/series ./internal/suite > BENCH_obs.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | sed 's/"Output":"//' || true
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepAxis(Sequential|Parallel)' \
+		-benchtime 3x -json \
+		./internal/suite > BENCH_sweep.json
+	@grep -o '"Output":"BenchmarkSweepAxis[^"]*' BENCH_sweep.json | sed 's/"Output":"//' || true

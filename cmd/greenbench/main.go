@@ -10,6 +10,16 @@
 //	greenbench -spec mycluster.json -o mine.json      # user-defined machine
 //	greenbench -native -watts 120 -o host.json        # real run on this host
 //
+// Suite composition and scheduling:
+//
+//	greenbench -list                                  # registered workloads
+//	greenbench -system fire -bench extended -o x.json # seven-benchmark suite
+//	greenbench -system fire -bench hpl,beff -o x.json # custom ordered suite
+//	greenbench -system fire -sweep -workers 4 -o s.json  # parallel sweep
+//
+// Sweep cells are independent deterministic computations, so -workers N
+// runs them concurrently with output byte-identical to -workers 1.
+//
 // Resilience:
 //
 //	greenbench -system fire -faults plan.json -retries 3 -o fire.json
@@ -18,8 +28,9 @@
 //
 // A sweep with -o checkpoints every completed (procs, benchmark) cell to
 // <out>.journal; -resume skips the checkpointed cells, so a resumed sweep
-// produces the identical output file. The journal is removed once the
-// final JSON is safely written.
+// produces the identical output file. The journal records the sweep's
+// benchmark list and refuses to resume a differently-composed sweep. It
+// is removed once the final JSON is safely written.
 package main
 
 import (
@@ -27,7 +38,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/native"
@@ -61,6 +74,9 @@ func main() {
 	procs := flag.Int("procs", 0, "MPI process count (default: all cores)")
 	sweep := flag.Bool("sweep", false, "run the paper's process sweep instead of one point")
 	extended := flag.Bool("extended", false, "run the seven-benchmark extended suite")
+	benchList := flag.String("bench", "", "ordered comma-separated benchmark list, or 'paper'/'extended' (default: paper; see -list)")
+	workers := flag.Int("workers", 1, "concurrent sweep cells (output is byte-identical to -workers 1)")
+	list := flag.Bool("list", false, "list the registered benchmark workloads and exit")
 	out := flag.String("o", "", "output JSON path (default: stdout summary only)")
 	placement := flag.String("placement", "cyclic", "process placement: cyclic or block")
 	faultsPath := flag.String("faults", "", "JSON fault-plan file to inject (see internal/faults)")
@@ -75,7 +91,8 @@ func main() {
 
 	if err := run(options{
 		system: *system, specPath: *specPath, native: *nativeRun, watts: *watts,
-		procs: *procs, sweep: *sweep, extended: *extended, out: *out, placement: *placement,
+		procs: *procs, sweep: *sweep, extended: *extended, bench: *benchList,
+		workers: *workers, list: *list, out: *out, placement: *placement,
 		faultsPath: *faultsPath, retries: *retries, timeout: *timeout,
 		resume: *resume, journalPath: *journalPath,
 		tracePath: *tracePath, metricsPath: *metricsPath, reportPath: *reportPath,
@@ -93,6 +110,9 @@ type options struct {
 	procs       int
 	sweep       bool
 	extended    bool
+	bench       string
+	workers     int
+	list        bool
 	out         string
 	placement   string
 	faultsPath  string
@@ -126,14 +146,82 @@ func (o options) retryPolicy() suite.RetryPolicy {
 	}
 }
 
+// benchNames resolves -bench / -extended into the canonical ordered
+// benchmark list ("paper" and nil both mean the paper's three).
+func benchNames(o options) ([]string, error) {
+	if o.bench != "" && o.extended {
+		return nil, fmt.Errorf("-bench and -extended are mutually exclusive (use -bench extended)")
+	}
+	raw := o.bench
+	switch strings.ToLower(raw) {
+	case "":
+		if o.extended {
+			return suite.ExtendedOrder, nil
+		}
+		return suite.PaperOrder(), nil
+	case "paper":
+		return suite.PaperOrder(), nil
+	case "extended":
+		return suite.ExtendedOrder, nil
+	}
+	var names []string
+	for _, part := range strings.Split(raw, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	resolved, err := bench.Resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	return resolved, nil
+}
+
+// listWorkloads prints the registry: every benchmark -bench accepts.
+func listWorkloads() error {
+	inPaper := map[string]bool{}
+	for _, n := range suite.PaperOrder() {
+		inPaper[n] = true
+	}
+	inExtended := map[string]bool{}
+	for _, n := range suite.ExtendedOrder {
+		inExtended[n] = true
+	}
+	for _, name := range suite.Workloads() {
+		w, ok := bench.Lookup(name)
+		if !ok {
+			return fmt.Errorf("registry lists unknown workload %q", name)
+		}
+		var sets []string
+		if inPaper[name] {
+			sets = append(sets, "paper")
+		}
+		if inExtended[name] {
+			sets = append(sets, "extended")
+		}
+		line := fmt.Sprintf("%-13s %s", name, w.Metric())
+		if len(sets) > 0 {
+			line += "  (" + strings.Join(sets, ", ") + ")"
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
 func run(o options) error {
-	system, procs, sweep, extended, out, placement :=
-		o.system, o.procs, o.sweep, o.extended, o.out, o.placement
+	system, procs, sweep, out, placement :=
+		o.system, o.procs, o.sweep, o.out, o.placement
+	if o.list {
+		return listWorkloads()
+	}
 	if o.native {
 		return runNative(o)
 	}
+	benches, err := benchNames(o)
+	if err != nil {
+		return err
+	}
 	var spec *cluster.Spec
-	var err error
 	if o.specPath != "" {
 		if spec, err = cluster.LoadSpec(o.specPath); err != nil {
 			return err
@@ -158,24 +246,16 @@ func run(o options) error {
 		}
 	}
 
-	execute := suite.Run
-	if extended {
-		execute = suite.RunExtended
-	}
 	var tracer *obs.Tracer
 	if o.traced() {
 		tracer = obs.NewTracer()
 	}
-	var cursor units.Seconds
 	configure := func(p int) suite.Config {
 		cfg := suite.DefaultConfig(spec, p)
 		cfg.Placement = pl
+		cfg.Benchmarks = benches
 		cfg.Faults = plan
 		cfg.Retry = o.retryPolicy()
-		if tracer != nil {
-			cfg.Trace = tracer
-			cfg.TraceAt = cursor
-		}
 		return cfg
 	}
 	var results []*suite.Result
@@ -195,61 +275,86 @@ func run(o options) error {
 			if journal, err = suite.OpenJournal(path); err != nil {
 				return err
 			}
+			if err := journal.Bind(benches); err != nil {
+				return err
+			}
+			if o.workers > 1 && journal.LegacyTraces() {
+				return fmt.Errorf("journal %s stores traces in the pre-v3 absolute-time layout; resume it with -workers 1, or delete it to start over", journal.Path())
+			}
 			if o.resume && journal.Len() > 0 {
 				fmt.Fprintf(os.Stderr, "resuming: %d cell(s) already in %s\n",
 					journal.Len(), journal.Path())
 			}
 		}
-		cells := 0
-		for _, p := range axis {
-			cfg := configure(p)
-			if journal != nil {
-				key := func(bench string) string {
-					return suite.CellKey(spec.Name, p, pl.String(), bench)
+		var cells atomic.Int64
+		sweepPlan := suite.SweepPlan{
+			Axis:    axis,
+			Workers: o.workers,
+			Trace:   tracer,
+			Configure: func(ctx suite.CellContext) (suite.Config, error) {
+				cfg := configure(ctx.Procs)
+				if journal == nil {
+					return cfg, nil
 				}
-				// mark fences the tracer per benchmark cell, so each cell's
-				// spans are journaled with it and replayed on resume.
-				mark := tracer.Mark()
+				key := func(bench string) string {
+					return suite.CellKey(spec.Name, ctx.Procs, pl.String(), bench)
+				}
+				// Journaled traces are cell-relative; the cell origin
+				// rebases them onto this run's campaign clock. Legacy
+				// journals recorded absolute campaign times — replay those
+				// verbatim (the sequential schedule reproduces them).
+				origin := ctx.Origin
+				if journal.LegacyTraces() {
+					origin = 0
+				}
+				// mark fences the recorder per benchmark cell, so each
+				// cell's spans are journaled with it and replayed on resume.
+				mark := ctx.Rec.Mark()
 				if o.resume {
 					cfg.Lookup = func(bench string) (suite.BenchmarkRun, bool) {
 						run, ok := journal.Lookup(key(bench))
-						if ok && tracer != nil {
+						if ok && ctx.Rec != nil {
 							if tr, hasTrace := journal.LookupTrace(key(bench)); hasTrace {
-								tracer.Replay(tr.Spans, tr.Events)
-								mark = tracer.Mark()
+								ctx.Rec.Replay(obs.ShiftedSpans(tr.Spans, origin),
+									obs.ShiftedEvents(tr.Events, origin))
+								mark = ctx.Rec.Mark()
 							}
 						}
 						return run, ok
 					}
 				}
 				cfg.OnBenchmark = func(bench string, run suite.BenchmarkRun) error {
-					if tracer != nil {
-						spans, events := tracer.Since(mark)
-						mark = tracer.Mark()
-						journal.SetTrace(key(bench), suite.CellTrace{Spans: spans, Events: events})
+					if ctx.Rec != nil {
+						spans, events := ctx.Rec.Since(mark)
+						mark = ctx.Rec.Mark()
+						journal.SetTrace(key(bench), suite.CellTrace{
+							Spans:  obs.ShiftedSpans(spans, -ctx.Origin),
+							Events: obs.ShiftedEvents(events, -ctx.Origin),
+						})
 					}
 					if err := journal.Record(key(bench), run); err != nil {
 						return err
 					}
-					cells++
-					if o.interruptAfter > 0 && cells >= o.interruptAfter {
-						return fmt.Errorf("sweep interrupted after %d cell(s) (test hook)", cells)
+					if done := cells.Add(1); o.interruptAfter > 0 && done >= int64(o.interruptAfter) {
+						return fmt.Errorf("sweep interrupted after %d cell(s) (test hook)", done)
 					}
 					return nil
 				}
-			}
-			r, err := execute(cfg)
-			if err != nil {
-				return err
-			}
-			cursor = r.TraceEnd
-			results = append(results, r)
+				return cfg, nil
+			},
+		}
+		if results, err = suite.RunSweepPlan(sweepPlan); err != nil {
+			return err
 		}
 	} else {
 		if procs == 0 {
 			procs = spec.TotalCores()
 		}
-		r, err := execute(configure(procs))
+		cfg := configure(procs)
+		if tracer != nil {
+			cfg.Trace = tracer
+		}
+		r, err := suite.Run(cfg)
 		if err != nil {
 			return err
 		}

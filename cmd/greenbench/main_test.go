@@ -356,3 +356,171 @@ func TestRunNativeMode(t *testing.T) {
 		t.Error("native run without watts accepted")
 	}
 }
+
+func TestRunListFlag(t *testing.T) {
+	if err := run(options{list: true}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunBenchFlagComposesSuite(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "custom.json")
+	if err := run(options{system: "testbed", procs: 4, out: out,
+		placement: "cyclic", bench: "hpl,beff"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs[0].Runs) != 2 {
+		t.Fatalf("custom suite ran %d benchmarks, want 2", len(rs[0].Runs))
+	}
+	if got := rs[0].Runs[0].Measurement.Benchmark; got != "HPL" {
+		t.Errorf("first benchmark = %q, want HPL", got)
+	}
+	if got := rs[0].Runs[1].Measurement.Benchmark; got != "b_eff" {
+		t.Errorf("second benchmark = %q, want b_eff", got)
+	}
+	// The named sets resolve too.
+	ext := filepath.Join(dir, "ext.json")
+	if err := run(options{system: "testbed", procs: 4, out: ext,
+		placement: "cyclic", bench: "extended"}); err != nil {
+		t.Fatal(err)
+	}
+	if rs, err = suite.LoadJSON(ext); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs[0].Runs) != 7 {
+		t.Errorf("-bench extended ran %d benchmarks, want 7", len(rs[0].Runs))
+	}
+	// Unknown names and conflicting flags fail loudly.
+	if err := run(options{system: "testbed", procs: 4, placement: "cyclic",
+		bench: "hpl,linpack"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run(options{system: "testbed", procs: 4, placement: "cyclic",
+		bench: "hpl", extended: true}); err == nil {
+		t.Error("-bench together with -extended accepted")
+	}
+}
+
+func TestRunSweepParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	plan := &faults.Plan{
+		Seed:      7,
+		Crashes:   []faults.Crash{{Benchmark: "HPL", Node: 1, At: 100, Attempt: 0}},
+		Straggler: &faults.Straggler{Prob: 1, ClockFactor: 0.8},
+		Meter:     &faults.Meter{DropRate: 0.05},
+	}
+	if err := faults.Save(planPath, plan); err != nil {
+		t.Fatal(err)
+	}
+	read := func(p string) string {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	for _, tc := range []struct {
+		name       string
+		faultsPath string
+		retries    int
+	}{
+		{"clean", "", 0},
+		{"faulty", planPath, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOut := filepath.Join(dir, tc.name+".seq.json")
+			seqTrace := filepath.Join(dir, tc.name+".seq.trace.json")
+			seqMetrics := filepath.Join(dir, tc.name+".seq.metrics.json")
+			if err := run(options{system: "testbed", sweep: true, out: seqOut,
+				placement: "cyclic", faultsPath: tc.faultsPath, retries: tc.retries,
+				tracePath: seqTrace, metricsPath: seqMetrics}); err != nil {
+				t.Fatal(err)
+			}
+			parOut := filepath.Join(dir, tc.name+".par.json")
+			parTrace := filepath.Join(dir, tc.name+".par.trace.json")
+			parMetrics := filepath.Join(dir, tc.name+".par.metrics.json")
+			if err := run(options{system: "testbed", sweep: true, workers: 4, out: parOut,
+				placement: "cyclic", faultsPath: tc.faultsPath, retries: tc.retries,
+				tracePath: parTrace, metricsPath: parMetrics}); err != nil {
+				t.Fatal(err)
+			}
+			if read(seqOut) != read(parOut) {
+				t.Error("-workers 4 sweep output differs from sequential")
+			}
+			if read(seqTrace) != read(parTrace) {
+				t.Error("-workers 4 campaign trace differs from sequential")
+			}
+			if read(seqMetrics) != read(parMetrics) {
+				t.Error("-workers 4 campaign metrics differ from sequential")
+			}
+		})
+	}
+}
+
+func TestRunSweepParallelResumeReplaysTrace(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	fullTrace := filepath.Join(dir, "full.trace.json")
+	if err := run(options{system: "testbed", sweep: true, out: full,
+		placement: "cyclic", tracePath: fullTrace}); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt a sequential traced sweep, then finish it on four workers:
+	// the journal's cell-relative traces are scheduler-invariant.
+	resumed := filepath.Join(dir, "resumed.json")
+	err := run(options{system: "testbed", sweep: true, out: resumed,
+		placement: "cyclic", tracePath: filepath.Join(dir, "partial.trace.json"),
+		journalPath: resumed + ".journal", interruptAfter: 9})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted sweep did not stop: %v", err)
+	}
+	resumedTrace := filepath.Join(dir, "resumed.trace.json")
+	if err := run(options{system: "testbed", sweep: true, workers: 4, out: resumed,
+		placement: "cyclic", resume: true, tracePath: resumedTrace,
+		journalPath: resumed + ".journal"}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(fullTrace)
+	got, _ := os.ReadFile(resumedTrace)
+	if string(got) != string(want) {
+		t.Error("parallel-resumed sweep trace differs from uninterrupted sweep trace")
+	}
+	a, _ := os.ReadFile(full)
+	b, _ := os.ReadFile(resumed)
+	if string(a) != string(b) {
+		t.Error("parallel-resumed sweep output differs from uninterrupted sweep")
+	}
+}
+
+func TestRunSweepJournalRefusesDifferentBenchList(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sweep.json")
+	journalPath := out + ".journal"
+	err := run(options{system: "testbed", sweep: true, out: out,
+		placement: "cyclic", journalPath: journalPath, interruptAfter: 6})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted sweep did not stop: %v", err)
+	}
+	// Resuming with another suite composition must fail with a clear error
+	// instead of mixing incomparable measurements.
+	err = run(options{system: "testbed", sweep: true, out: out,
+		placement: "cyclic", journalPath: journalPath, resume: true,
+		bench: "extended"})
+	if err == nil {
+		t.Fatal("journal accepted a different benchmark list")
+	}
+	if !strings.Contains(err.Error(), "benchmarks") || !strings.Contains(err.Error(), "delete") {
+		t.Errorf("unhelpful benchmark-mismatch error: %v", err)
+	}
+	// The original composition still resumes cleanly.
+	if err := run(options{system: "testbed", sweep: true, out: out,
+		placement: "cyclic", journalPath: journalPath, resume: true}); err != nil {
+		t.Fatal(err)
+	}
+}

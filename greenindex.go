@@ -102,6 +102,30 @@ func SweepSuite(spec *Spec, procs []int) ([]*SuiteResult, error) {
 	return suite.Sweep(spec, procs)
 }
 
+// SweepSuiteParallel is SweepSuite on a worker pool: up to workers
+// process counts simulate concurrently. Every sweep cell is an
+// independent, deterministically-seeded computation, so the results are
+// byte-identical to SweepSuite's regardless of worker count.
+func SweepSuiteParallel(spec *Spec, procs []int, workers int) ([]*SuiteResult, error) {
+	return suite.SweepParallel(spec, procs, workers)
+}
+
+// Workloads returns the canonical names of every registered benchmark
+// workload, sorted — the vocabulary RunCustomSuite accepts.
+func Workloads() []string { return suite.Workloads() }
+
+// RunCustomSuite executes an explicit ordered benchmark list (composed
+// from Workloads; names match case- and separator-insensitively) on spec
+// at the given process count. This is how a suite opts into workloads
+// beyond the default sets, such as the b_eff interconnect probe:
+//
+//	res, err := greenindex.RunCustomSuite(spec, 64, "HPL", "STREAM", "beff")
+func RunCustomSuite(spec *Spec, procs int, benchmarks ...string) (*SuiteResult, error) {
+	cfg := suite.DefaultConfig(spec, procs)
+	cfg.Benchmarks = benchmarks
+	return suite.Run(cfg)
+}
+
 // RunExtendedSuite executes the seven-benchmark extended suite (HPL,
 // DGEMM, STREAM, PTRANS, RandomAccess, FFT, IOzone) — full HPC
 // Challenge-style subsystem coverage, as the paper's introduction

@@ -1,6 +1,7 @@
 package greenindex_test
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -138,5 +139,63 @@ func TestPublicCenterWide(t *testing.T) {
 			t.Errorf("%s: center-wide power not above IT power",
 				it.Runs[i].Measurement.Benchmark)
 		}
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	names := greenindex.Workloads()
+	if len(names) != 8 {
+		t.Errorf("Workloads lists %d names, want 8: %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"HPL", "STREAM", "IOzone", "b_eff"} {
+		if !seen[want] {
+			t.Errorf("Workloads misses %q: %v", want, names)
+		}
+	}
+}
+
+func TestPublicCustomSuite(t *testing.T) {
+	res, err := greenindex.RunCustomSuite(greenindex.Fire(), 64, "HPL", "stream", "beff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("custom suite has %d runs, want 3", len(res.Runs))
+	}
+	order := []string{"HPL", "STREAM", "b_eff"}
+	for i, want := range order {
+		if got := res.Runs[i].Measurement.Benchmark; got != want {
+			t.Errorf("run %d is %q, want %q", i, got, want)
+		}
+	}
+	if _, err := greenindex.RunCustomSuite(greenindex.Fire(), 64, "linpack"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPublicParallelSweepMatchesSequential(t *testing.T) {
+	axis := []int{8, 32, 128}
+	seq, err := greenindex.SweepSuite(greenindex.Fire(), axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := greenindex.SweepSuiteParallel(greenindex.Fire(), axis, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("SweepSuiteParallel output differs from SweepSuite")
 	}
 }

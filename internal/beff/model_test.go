@@ -1,0 +1,114 @@
+package beff
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestSimulateBasics(t *testing.T) {
+	spec := cluster.Fire()
+	res, err := Simulate(DefaultModelConfig(spec, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RingRate <= 0 {
+		t.Errorf("non-positive ring rate %v", res.RingRate)
+	}
+	if res.Duration <= 0 {
+		t.Errorf("non-positive duration %v", res.Duration)
+	}
+	if res.Profile == nil || res.Profile.Duration() != res.Duration {
+		t.Errorf("profile does not cover the run: %v vs %v",
+			res.Profile.Duration(), res.Duration)
+	}
+	// A ring cannot beat the memory system's ability to move the payload.
+	if float64(res.RingRate) <= 0 ||
+		math.IsInf(float64(res.RingRate), 0) || math.IsNaN(float64(res.RingRate)) {
+		t.Errorf("degenerate ring rate %v", res.RingRate)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	spec := cluster.Fire()
+	a, err := Simulate(DefaultModelConfig(spec, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(DefaultModelConfig(spec, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RingRate != b.RingRate || a.Duration != b.Duration {
+		t.Errorf("model is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestBlockPlacementBeatsCyclic: with block placement only the ranks at
+// node boundaries cross the fabric, so the natural ring sustains at
+// least the cyclic layout's rate (where nearly every hop is cross-node).
+func TestBlockPlacementBeatsCyclic(t *testing.T) {
+	spec := cluster.Fire()
+	cyc := DefaultModelConfig(spec, 64)
+	blk := cyc
+	blk.Placement = cluster.Block
+	rc, err := Simulate(cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.RingRate < rc.RingRate {
+		t.Errorf("block ring rate %v below cyclic %v", rb.RingRate, rc.RingRate)
+	}
+}
+
+// TestSingleProcessStaysLocal: one rank's successor is itself, so the
+// ring never touches the fabric and the round costs only latency + the
+// memory copy.
+func TestSingleProcessStaysLocal(t *testing.T) {
+	res, err := Simulate(DefaultModelConfig(cluster.Testbed(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RingRate <= 0 {
+		t.Errorf("single-process ring rate %v", res.RingRate)
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	spec := cluster.Testbed()
+	cases := []ModelConfig{
+		{Spec: nil, Procs: 4},
+		{Spec: spec, Procs: 0},
+		{Spec: spec, Procs: 4, MessageBytes: -1},
+		{Spec: spec, Procs: 4, Rounds: -5},
+	}
+	for i, cfg := range cases {
+		if _, err := Simulate(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestMoreRanksMoveMoreBytes: aggregate ring throughput should not
+// collapse as the machine fills — each round moves procs × message
+// bytes, so the rate at 128 ranks must exceed the rate at 8.
+func TestMoreRanksMoveMoreBytes(t *testing.T) {
+	spec := cluster.Fire()
+	small, err := Simulate(DefaultModelConfig(spec, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Simulate(DefaultModelConfig(spec, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.RingRate <= small.RingRate {
+		t.Errorf("ring rate fell from %v (8 ranks) to %v (128 ranks)",
+			small.RingRate, large.RingRate)
+	}
+}

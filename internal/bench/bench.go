@@ -1,0 +1,175 @@
+// Package bench is the workload layer of the TGI pipeline: a registry of
+// pluggable benchmark workloads the suite runner assembles its run steps
+// from. The paper's TGI equations are benchmark-agnostic — any suite that
+// stresses distinct subsystems feeds the same EE/REE/weighting pipeline —
+// so the orchestration layer should not know each benchmark by name.
+// Opening a new workload means implementing Workload in one file and
+// registering it; the suite, resilience machinery, journaling, tracing and
+// reports all pick it up unchanged.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Canonical benchmark names as they appear in measurements.
+const (
+	HPL          = "HPL"
+	DGEMM        = "DGEMM"
+	STREAM       = "STREAM"
+	PTRANS       = "PTRANS"
+	RandomAccess = "RandomAccess"
+	FFT          = "FFT"
+	IOzone       = "IOzone"
+	Beff         = "b_eff"
+)
+
+// Env is the per-run execution environment a workload simulates under:
+// everything the enclosing suite config contributes to one benchmark run.
+type Env struct {
+	// Procs is the MPI process count of the enclosing suite run.
+	Procs int
+	// Placement maps processes onto nodes.
+	Placement cluster.Placement
+	// Override optionally replaces the workload's default model
+	// configuration; its concrete type is the workload package's
+	// *ModelConfig (see Workload.DefaultConfig). A wrong type is a
+	// configuration error, not a silent fallback.
+	Override any
+	// EventBudget caps the discrete-event engine of event-driven models
+	// (0 keeps the engine default).
+	EventBudget uint64
+}
+
+// Simulated is what a workload's performance model hands the measurement
+// stage: the performance number in the workload's metric unit and the
+// load profile the power model integrates.
+type Simulated struct {
+	Perf    float64
+	Profile *cluster.LoadProfile
+	// Engine, when the model ran on the discrete-event kernel, carries
+	// its work stats for the attempt's trace span.
+	Engine *sim.Stats
+}
+
+// Workload is one benchmark of a TGI suite: a name, the unit its
+// performance is reported in, a default model configuration, and the
+// simulation that turns a machine spec into a performance + load-profile
+// pair. Implementations must be stateless and safe for concurrent use —
+// the parallel sweep scheduler runs one workload at several process
+// counts at once.
+type Workload interface {
+	// Name is the canonical benchmark name as reported in measurements.
+	Name() string
+	// Metric names the performance unit (GFLOPS, MBPS, GUPS, ...).
+	Metric() string
+	// DefaultConfig returns the workload's default model configuration
+	// for (spec, procs) — the value an Env.Override replaces. The
+	// concrete type is the workload package's *ModelConfig.
+	DefaultConfig(spec *cluster.Spec, procs int) any
+	// Simulate runs the performance model against the (possibly
+	// fault-degraded) spec under env.
+	Simulate(spec *cluster.Spec, env Env) (Simulated, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+	order    []string // registration order, for stable listings
+)
+
+// normalize folds a benchmark name for lookup: lower-cased with
+// separators removed, so "hpl", "HPL", "randomaccess" and "b_eff"/"beff"
+// all resolve.
+func normalize(name string) string {
+	s := strings.ToLower(name)
+	s = strings.ReplaceAll(s, "_", "")
+	s = strings.ReplaceAll(s, "-", "")
+	return s
+}
+
+// Register adds a workload to the registry. Registering a second
+// workload under an already-taken name is a programming error.
+func Register(w Workload) {
+	key := normalize(w.Name())
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("bench: workload %q registered twice", w.Name()))
+	}
+	registry[key] = w
+	order = append(order, w.Name())
+}
+
+// Lookup resolves a benchmark name (case- and separator-insensitively)
+// to its registered workload.
+func Lookup(name string) (Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := registry[normalize(name)]
+	return w, ok
+}
+
+// Names returns every registered workload's canonical name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}
+
+// Resolve canonicalises an ordered benchmark list against the registry,
+// rejecting unknown names and duplicates with one descriptive error.
+func Resolve(names []string) ([]string, error) {
+	out := make([]string, 0, len(names))
+	seen := map[string]bool{}
+	for _, name := range names {
+		w, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown benchmark %q (registered: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		if seen[w.Name()] {
+			return nil, fmt.Errorf("bench: benchmark %q listed twice", w.Name())
+		}
+		seen[w.Name()] = true
+		out = append(out, w.Name())
+	}
+	return out, nil
+}
+
+// PaperOrder returns the paper's three benchmarks in run order.
+func PaperOrder() []string {
+	return []string{HPL, STREAM, IOzone}
+}
+
+// ExtendedOrder returns the seven benchmarks of the extended suite in
+// run order — the full HPC Challenge-style coverage the paper's
+// introduction motivates: compute (HPL, DGEMM), memory bandwidth
+// (STREAM), memory latency (RandomAccess), interconnect (PTRANS), mixed
+// compute/all-to-all (FFT) and I/O (IOzone). b_eff stays opt-in: it is
+// registered but joins a suite only by explicit request.
+func ExtendedOrder() []string {
+	return []string{HPL, DGEMM, STREAM, PTRANS, RandomAccess, FFT, IOzone}
+}
+
+// overrideAs asserts an Env.Override to the workload's config type; a
+// nil override reports ok=false and a wrong type is a descriptive error.
+func overrideAs[T any](bench string, o any) (T, bool, error) {
+	var zero T
+	if o == nil {
+		return zero, false, nil
+	}
+	c, ok := o.(T)
+	if !ok {
+		return zero, false, fmt.Errorf("bench: %s override is %T, want %T", bench, o, zero)
+	}
+	return c, true, nil
+}

@@ -1,6 +1,10 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/units"
+)
 
 // Tracer is the standard Recorder: it collects spans and events in
 // memory (append-only, mutex-protected) and folds metric updates into a
@@ -11,7 +15,19 @@ type Tracer struct {
 	mu     sync.Mutex
 	spans  []Span
 	events []Event
+	ops    []metricOp
 	reg    *Registry
+}
+
+// metricOp is one metric update in recording order. Counter and
+// histogram accumulation is floating-point addition and therefore
+// order-sensitive; keeping the update log (rather than merging final
+// registry values) lets MergeInto rebuild a campaign registry
+// bit-identical to a sequentially-recorded one.
+type metricOp struct {
+	kind  byte // 'c' counter add, 'g' gauge set, 'o' histogram observe
+	name  string
+	value float64
 }
 
 // NewTracer returns an empty tracer with a fresh registry.
@@ -42,6 +58,9 @@ func (t *Tracer) Count(name string, delta float64) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	t.ops = append(t.ops, metricOp{kind: 'c', name: name, value: delta})
+	t.mu.Unlock()
 	t.reg.Add(name, delta)
 }
 
@@ -50,6 +69,9 @@ func (t *Tracer) Gauge(name string, v float64) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	t.ops = append(t.ops, metricOp{kind: 'g', name: name, value: v})
+	t.mu.Unlock()
 	t.reg.SetGauge(name, v)
 }
 
@@ -58,6 +80,9 @@ func (t *Tracer) Observe(name string, v float64) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	t.ops = append(t.ops, metricOp{kind: 'o', name: name, value: v})
+	t.mu.Unlock()
 	t.reg.Observe(name, v)
 }
 
@@ -124,4 +149,59 @@ func (t *Tracer) Replay(spans []Span, events []Event) {
 	t.spans = append(t.spans, spans...)
 	t.events = append(t.events, events...)
 	t.mu.Unlock()
+}
+
+// ShiftedSpans returns the recorded spans with start and end offset on
+// the virtual-time axis — how a cell trace recorded at origin zero is
+// rebased for journaling or merging.
+func ShiftedSpans(spans []Span, offset units.Seconds) []Span {
+	out := append([]Span(nil), spans...)
+	for i := range out {
+		out[i].Start += offset
+		out[i].End += offset
+	}
+	return out
+}
+
+// ShiftedEvents is ShiftedSpans for instant events.
+func ShiftedEvents(events []Event, offset units.Seconds) []Event {
+	out := append([]Event(nil), events...)
+	for i := range out {
+		out[i].At += offset
+	}
+	return out
+}
+
+// MergeInto replays everything this tracer recorded into dst with all
+// virtual times shifted by offset: spans, events and the metric-update
+// log, each in original recording order. Merging the per-cell tracers of
+// a parallel sweep into the campaign tracer in axis order therefore
+// reproduces the sequentially-recorded campaign stream byte-for-byte —
+// including the order-sensitive floating-point accumulation of counters
+// and histogram sums, which replaying final values could not guarantee.
+func (t *Tracer) MergeInto(dst Recorder, offset units.Seconds) {
+	if t == nil || dst == nil {
+		return
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	events := append([]Event(nil), t.events...)
+	ops := append([]metricOp(nil), t.ops...)
+	t.mu.Unlock()
+	for _, s := range ShiftedSpans(spans, offset) {
+		dst.Span(s)
+	}
+	for _, e := range ShiftedEvents(events, offset) {
+		dst.Event(e)
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 'c':
+			dst.Count(op.name, op.value)
+		case 'g':
+			dst.Gauge(op.name, op.value)
+		case 'o':
+			dst.Observe(op.name, op.value)
+		}
+	}
 }

@@ -1,19 +1,16 @@
 package suite
 
 import (
+	"repro/internal/bench"
 	"repro/internal/cluster"
-	"repro/internal/dgemm"
-	"repro/internal/fft"
-	"repro/internal/ptrans"
-	"repro/internal/randomaccess"
 )
 
 // Extended-suite benchmark names (beyond the paper's three).
 const (
-	BenchDGEMM        = "DGEMM"
-	BenchPTRANS       = "PTRANS"
-	BenchRandomAccess = "RandomAccess"
-	BenchFFT          = "FFT"
+	BenchDGEMM        = bench.DGEMM
+	BenchPTRANS       = bench.PTRANS
+	BenchRandomAccess = bench.RandomAccess
+	BenchFFT          = bench.FFT
 )
 
 // ExtendedOrder lists the seven benchmarks of the extended suite in run
@@ -21,93 +18,19 @@ const (
 // motivates ("there are seven different benchmark tests in the suite"):
 // compute (HPL, DGEMM), memory bandwidth (STREAM), memory latency
 // (RandomAccess), interconnect (PTRANS), mixed compute/all-to-all (FFT)
-// and I/O (IOzone, the paper's own extension beyond HPCC).
-var ExtendedOrder = []string{
-	BenchHPL, BenchDGEMM, BenchSTREAM, BenchPTRANS,
-	BenchRandomAccess, BenchFFT, BenchIOzone,
-}
-
-// extraSteps returns the four benchmarks beyond the paper's three, using
-// their packages' default model configurations.
-func extraSteps(cfg *Config) []benchStep {
-	return []benchStep{
-		{
-			name:   BenchDGEMM,
-			metric: "GFLOPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				dg := dgemm.DefaultModelConfig(spec, cfg.Procs)
-				dg.Placement = cfg.Placement
-				res, err := dgemm.Simulate(dg)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: float64(res.Perf) / 1e9, profile: res.Profile}, nil
-			},
-		},
-		{
-			name:   BenchPTRANS,
-			metric: "MBPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				pt := ptrans.DefaultModelConfig(spec, cfg.Procs)
-				pt.Placement = cfg.Placement
-				res, err := ptrans.Simulate(pt)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: float64(res.Rate) / 1e6, profile: res.Profile}, nil
-			},
-		},
-		{
-			name:   BenchRandomAccess,
-			metric: "GUPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				ra := randomaccess.DefaultModelConfig(spec, cfg.Procs)
-				ra.Placement = cfg.Placement
-				res, err := randomaccess.Simulate(ra)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: res.GUPS, profile: res.Profile}, nil
-			},
-		},
-		{
-			name:   BenchFFT,
-			metric: "GFLOPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				ff := fft.DefaultModelConfig(spec, cfg.Procs)
-				ff.Placement = cfg.Placement
-				res, err := fft.Simulate(ff)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: float64(res.Perf) / 1e9, profile: res.Profile}, nil
-			},
-		},
-	}
-}
-
-// extendedSteps assembles the seven-benchmark suite in ExtendedOrder.
-func extendedSteps(cfg *Config) []benchStep {
-	byName := map[string]benchStep{}
-	for _, st := range paperSteps(cfg) {
-		byName[st.name] = st
-	}
-	for _, st := range extraSteps(cfg) {
-		byName[st.name] = st
-	}
-	out := make([]benchStep, 0, len(ExtendedOrder))
-	for _, name := range ExtendedOrder {
-		out = append(out, byName[name])
-	}
-	return out
-}
+// and I/O (IOzone, the paper's own extension beyond HPCC). b_eff stays
+// opt-in: name it in Config.Benchmarks to add interconnect coverage.
+var ExtendedOrder = bench.ExtendedOrder()
 
 // RunExtended executes the seven-benchmark suite at one process count.
 // The three paper benchmarks run exactly as in Run; the four additions use
 // their packages' default model configurations. The resilience machinery
 // (faults, retries, degradation, checkpointing) applies to all seven.
 func RunExtended(cfg Config) (*Result, error) {
-	return runSuite(cfg, extendedSteps(&cfg))
+	if len(cfg.Benchmarks) == 0 {
+		cfg.Benchmarks = ExtendedOrder
+	}
+	return Run(cfg)
 }
 
 // RunExtendedOn is RunExtended with the default configuration for spec.

@@ -7,9 +7,18 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"repro/internal/obs"
 )
+
+// journalVersion is the current on-disk layout. v3 adds the benchmark
+// list header (a journal refuses to resume a differently-composed sweep)
+// and stores cell traces in cell-relative virtual time, which makes a
+// journal scheduler-invariant: a sweep checkpointed sequentially resumes
+// under the parallel scheduler and vice versa.
+const journalVersion = 3
 
 // Journal checkpoints completed (system, procs, placement, benchmark)
 // cells of a sweep to a JSON file, so an interrupted campaign resumes
@@ -18,30 +27,44 @@ import (
 // sweep's output is bit-for-bit the uninterrupted one.
 //
 // When the campaign is traced, each cell also checkpoints the spans and
-// events it emitted; a resumed sweep replays them into the live tracer,
-// so the final trace file covers the whole campaign, not just the cells
-// executed after the restart.
+// events it emitted (in cell-relative time); a resumed sweep replays
+// them into the live tracer at the cell's origin, so the final trace
+// file covers the whole campaign, not just the cells executed after the
+// restart.
 //
 // The file is rewritten atomically (temp file + rename) after every cell:
 // a crash mid-checkpoint leaves the previous consistent journal behind.
+// All methods are safe for concurrent use — the parallel sweep scheduler
+// checkpoints cells from several goroutines.
 type Journal struct {
-	path   string
-	cells  map[string]BenchmarkRun
-	traces map[string]CellTrace
+	path string
+
+	mu         sync.Mutex
+	cells      map[string]BenchmarkRun
+	traces     map[string]CellTrace
+	benchmarks []string
+	// legacy marks a journal loaded from a pre-v3 file that carries
+	// traces; those are recorded in absolute campaign time and can only
+	// be replayed verbatim by the sequential schedule.
+	legacy bool
 }
 
-// CellTrace is the observability stream one journaled cell produced.
+// CellTrace is the observability stream one journaled cell produced,
+// in cell-relative virtual time (pre-v3 journals: absolute time).
 type CellTrace struct {
 	Spans  []obs.Span  `json:"spans,omitempty"`
 	Events []obs.Event `json:"events,omitempty"`
 }
 
-// journalFile is the on-disk v2 layout. The v1 layout was a bare
-// map[string]BenchmarkRun; OpenJournal still reads it (cell keys always
-// contain '|', so the "cells" key can never collide with one).
+// journalFile is the on-disk layout. v3 adds Version and Benchmarks;
+// v2 had Cells and Traces only; v1 was a bare map[string]BenchmarkRun
+// (cell keys always contain '|', so the "cells" key can never collide
+// with one). OpenJournal reads all three.
 type journalFile struct {
-	Cells  map[string]BenchmarkRun `json:"cells"`
-	Traces map[string]CellTrace    `json:"traces,omitempty"`
+	Version    int                     `json:"version,omitempty"`
+	Benchmarks []string                `json:"benchmarks,omitempty"`
+	Cells      map[string]BenchmarkRun `json:"cells"`
+	Traces     map[string]CellTrace    `json:"traces,omitempty"`
 }
 
 // CellKey names one benchmark of one sweep point.
@@ -50,8 +73,8 @@ func CellKey(system string, procs int, placement, bench string) string {
 }
 
 // OpenJournal loads the journal at path, or starts an empty one when the
-// file does not exist yet. Both the current layout and the pre-trace v1
-// layout (a bare cell map) are accepted.
+// file does not exist yet. The current layout and both legacy layouts
+// (v2: no header; v1: a bare cell map) are accepted.
 func OpenJournal(path string) (*Journal, error) {
 	j := &Journal{path: path, cells: map[string]BenchmarkRun{}, traces: map[string]CellTrace{}}
 	b, err := os.ReadFile(path)
@@ -65,7 +88,7 @@ func OpenJournal(path string) (*Journal, error) {
 	if err := json.Unmarshal(b, &probe); err != nil {
 		return nil, fmt.Errorf("suite: journal %s is corrupt (%v); delete it to start over", path, err)
 	}
-	if _, v2 := probe["cells"]; v2 {
+	if _, keyed := probe["cells"]; keyed {
 		var f journalFile
 		if err := json.Unmarshal(b, &f); err != nil {
 			return nil, fmt.Errorf("suite: journal %s is corrupt (%v); delete it to start over", path, err)
@@ -76,6 +99,8 @@ func OpenJournal(path string) (*Journal, error) {
 		if f.Traces != nil {
 			j.traces = f.Traces
 		}
+		j.benchmarks = f.Benchmarks
+		j.legacy = f.Version < journalVersion && len(j.traces) > 0
 		return j, nil
 	}
 	// v1: the whole file is the cell map.
@@ -89,10 +114,55 @@ func OpenJournal(path string) (*Journal, error) {
 func (j *Journal) Path() string { return j.path }
 
 // Len returns the number of checkpointed cells.
-func (j *Journal) Len() int { return len(j.cells) }
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// LegacyTraces reports whether the journal carries pre-v3 traces in
+// absolute campaign time. Such a journal resumes only under the
+// sequential schedule, which reproduces the absolute times the traces
+// were recorded at.
+func (j *Journal) LegacyTraces() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.legacy
+}
+
+// Bind ties the journal to the sweep's ordered benchmark list. A fresh
+// journal records the list in its header; an existing one refuses a
+// differing list — resuming a journal under a different suite
+// composition would silently mix incomparable measurements. Journals
+// written before the header existed (pre-v3) bind to whatever list the
+// resuming sweep supplies.
+func (j *Journal) Bind(benchmarks []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.benchmarks == nil {
+		j.benchmarks = append([]string(nil), benchmarks...)
+		return nil
+	}
+	if len(j.benchmarks) == len(benchmarks) {
+		same := true
+		for i := range benchmarks {
+			if j.benchmarks[i] != benchmarks[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	return fmt.Errorf("suite: journal %s was written for benchmarks [%s], but this sweep runs [%s]; finish it with the original set, or delete the journal to start over",
+		j.path, strings.Join(j.benchmarks, " "), strings.Join(benchmarks, " "))
+}
 
 // Lookup returns the checkpointed run for a cell, if present.
 func (j *Journal) Lookup(key string) (BenchmarkRun, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	run, ok := j.cells[key]
 	return run, ok
 }
@@ -100,24 +170,31 @@ func (j *Journal) Lookup(key string) (BenchmarkRun, bool) {
 // LookupTrace returns the observability stream checkpointed for a cell.
 // Cells recorded untraced (or by the v1 layout) have none.
 func (j *Journal) LookupTrace(key string) (CellTrace, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	tr, ok := j.traces[key]
 	return tr, ok
 }
 
-// SetTrace stages a cell's observability stream without persisting; the
-// next Record flushes it together with the cell. Call it right before
-// Record so a crash between the two cannot strand a trace.
+// SetTrace stages a cell's observability stream (cell-relative time)
+// without persisting; the next Record flushes it together with the cell.
+// Call it right before Record so a crash between the two cannot strand a
+// trace.
 func (j *Journal) SetTrace(key string, tr CellTrace) {
 	if len(tr.Spans) == 0 && len(tr.Events) == 0 {
 		return
 	}
+	j.mu.Lock()
 	j.traces[key] = tr
+	j.mu.Unlock()
 }
 
 // Record checkpoints one cell and persists the journal.
 func (j *Journal) Record(key string, run BenchmarkRun) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.cells[key] = run
-	return j.flush()
+	return j.flushLocked()
 }
 
 // Remove deletes the journal file (after a sweep completes and its final
@@ -130,9 +207,15 @@ func (j *Journal) Remove() error {
 	return err
 }
 
-// flush writes the journal atomically.
-func (j *Journal) flush() error {
-	f := journalFile{Cells: j.cells}
+// flushLocked writes the journal atomically; j.mu must be held. A legacy
+// journal keeps its pre-v3 version so its absolute-time traces are never
+// misread as cell-relative ones.
+func (j *Journal) flushLocked() error {
+	version := journalVersion
+	if j.legacy {
+		version = journalVersion - 1
+	}
+	f := journalFile{Version: version, Benchmarks: j.benchmarks, Cells: j.cells}
 	if len(j.traces) > 0 {
 		f.Traces = j.traces
 	}

@@ -1,0 +1,166 @@
+package suite
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// CellContext is what SweepPlan.Configure receives for one sweep cell.
+type CellContext struct {
+	// Procs is the cell's process count (one value of SweepPlan.Axis).
+	Procs int
+	// Rec is the recorder the cell runs under: the campaign tracer itself
+	// when the sweep is sequential, a fresh per-cell tracer when it is
+	// parallel, nil when the plan has no tracer. Configure uses it to
+	// wire journaling hooks (Mark/Since); the scheduler installs it as
+	// the run's Config.Trace, overriding anything Configure set there.
+	Rec *obs.Tracer
+	// Origin is the campaign-clock time at which Rec's timeline begins
+	// for this cell: the accumulated sweep time so far when sequential,
+	// always zero when parallel. Subtracting it from times read off Rec
+	// yields cell-relative (scheduler-invariant) times — what journals
+	// store so a sweep can resume under either scheduler.
+	Origin units.Seconds
+}
+
+// SweepPlan describes a process-count sweep: which cells to run, how to
+// configure each, how many to run at once, and where the campaign's
+// observability stream goes.
+//
+// Every cell of a sweep is independent by construction — fault draws are
+// pure functions of (plan seed, benchmark, procs, attempt) and meter
+// noise is seeded per process count — so cells may run in any order or
+// concurrently without results changing. The scheduler exploits that:
+// with Workers > 1 cells run on a worker pool, and the per-cell traces
+// are merged back into the campaign tracer in axis order, reproducing
+// the sequential schedule's results, trace and metrics byte-for-byte.
+type SweepPlan struct {
+	// Axis is the ordered process-count axis; results come back in this
+	// order regardless of execution order.
+	Axis []int
+	// Workers caps concurrently-running cells. 0 or 1 runs the classic
+	// sequential schedule; n > 1 runs up to n cells at once.
+	Workers int
+	// Trace, when non-nil, receives the campaign's spans, events and
+	// metrics — laid out end to end on the virtual-time axis exactly as a
+	// sequential sweep records them.
+	Trace *obs.Tracer
+	// Configure builds the Config for one cell. It must be safe for
+	// concurrent calls when Workers > 1. The scheduler owns the returned
+	// config's Trace and TraceAt fields.
+	Configure func(ctx CellContext) (Config, error)
+}
+
+// RunSweepPlan executes the plan and returns one Result per axis entry,
+// in axis order. With Workers > 1 the cells run concurrently but the
+// returned results, the campaign trace and the campaign metrics are
+// byte-identical to the sequential schedule's. On error the first
+// failing cell in axis order is reported; under the parallel schedule
+// later cells may already have run by then (they are discarded), whereas
+// the sequential schedule stops at the failure.
+func RunSweepPlan(plan SweepPlan) ([]*Result, error) {
+	if plan.Configure == nil {
+		return nil, errors.New("suite: sweep plan has no Configure")
+	}
+	if plan.Workers > 1 && len(plan.Axis) > 1 {
+		return runSweepParallel(plan)
+	}
+	return runSweepSequential(plan)
+}
+
+func runSweepSequential(plan SweepPlan) ([]*Result, error) {
+	out := make([]*Result, 0, len(plan.Axis))
+	var cursor units.Seconds
+	for _, p := range plan.Axis {
+		ctx := CellContext{Procs: p, Rec: plan.Trace, Origin: cursor}
+		cfg, err := plan.Configure(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("suite: p=%d: %w", p, err)
+		}
+		if ctx.Rec != nil {
+			cfg.Trace = ctx.Rec
+			cfg.TraceAt = ctx.Origin
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("suite: p=%d: %w", p, err)
+		}
+		cursor = r.TraceEnd
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runSweepParallel(plan SweepPlan) ([]*Result, error) {
+	type cell struct {
+		res *Result
+		rec *obs.Tracer
+		err error
+	}
+	cells := make([]cell, len(plan.Axis))
+	sem := make(chan struct{}, plan.Workers)
+	var wg sync.WaitGroup
+	for i, p := range plan.Axis {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var rec *obs.Tracer
+			if plan.Trace != nil {
+				rec = obs.NewTracer()
+			}
+			ctx := CellContext{Procs: p, Rec: rec}
+			cfg, err := plan.Configure(ctx)
+			if err != nil {
+				cells[i].err = fmt.Errorf("suite: p=%d: %w", p, err)
+				return
+			}
+			if rec != nil {
+				cfg.Trace = rec
+				cfg.TraceAt = 0
+			}
+			r, err := Run(cfg)
+			if err != nil {
+				cells[i].err = fmt.Errorf("suite: p=%d: %w", p, err)
+				return
+			}
+			cells[i] = cell{res: r, rec: rec}
+		}()
+	}
+	wg.Wait()
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+	}
+	// Merge in axis order: lay each cell's zero-based trace end to end on
+	// the campaign clock, exactly where the sequential schedule would
+	// have recorded it.
+	out := make([]*Result, len(cells))
+	var cursor units.Seconds
+	for i := range cells {
+		cells[i].rec.MergeInto(plan.Trace, cursor)
+		cells[i].res.TraceEnd += cursor
+		cursor = cells[i].res.TraceEnd
+		out[i] = cells[i].res
+	}
+	return out, nil
+}
+
+// SweepParallel is Sweep on a worker pool: the same cells, seeds and
+// results, executed up to workers at a time.
+func SweepParallel(spec *cluster.Spec, procs []int, workers int) ([]*Result, error) {
+	return RunSweepPlan(SweepPlan{
+		Axis:    procs,
+		Workers: workers,
+		Configure: func(ctx CellContext) (Config, error) {
+			return SeededConfig(spec, ctx.Procs, 17), nil
+		},
+	})
+}

@@ -1,0 +1,280 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+func marshalResults(t *testing.T, rs []*Result) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fireFaultyPlan is a fixed-seed fault scenario on the Fire axis: a
+// scheduled crash forcing a retry, a certain straggler and meter faults.
+func fireFaultyPlan() *faults.Plan {
+	return &faults.Plan{
+		Seed:      11,
+		Crashes:   []faults.Crash{{Benchmark: BenchHPL, Node: 1, At: 50, Attempt: 0}},
+		Straggler: &faults.Straggler{Prob: 1, ClockFactor: 0.9},
+		Meter:     &faults.Meter{DropRate: 0.08, GlitchRate: 0.02, GlitchWatts: 400},
+	}
+}
+
+// TestParallelFireSweepByteIdentical is the scheduler's golden test: the
+// paper's Fire sweep under -workers N must serialise byte-for-byte like
+// the sequential schedule — with and without an active fault plan.
+func TestParallelFireSweepByteIdentical(t *testing.T) {
+	spec := cluster.Fire()
+	cases := []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"clean", nil},
+		{"faulty", fireFaultyPlan()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			configure := func(ctx CellContext) (Config, error) {
+				cfg := SeededConfig(spec, ctx.Procs, 17)
+				if tc.plan != nil {
+					cfg.Faults = tc.plan
+					cfg.Retry = RetryPolicy{MaxAttempts: 3, Backoff: 30}
+				}
+				return cfg, nil
+			}
+			seq, err := RunSweepPlan(SweepPlan{Axis: FireSweep(), Configure: configure})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 9} {
+				par, err := RunSweepPlan(SweepPlan{
+					Axis: FireSweep(), Workers: workers, Configure: configure,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(marshalResults(t, seq), marshalResults(t, par)) {
+					t.Errorf("workers=%d sweep output differs from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSweepTraceByteIdentical: the merged campaign trace and
+// metrics of a parallel sweep must reproduce the sequential recording
+// byte-for-byte — spans laid end to end on the virtual-time axis and
+// metric accumulation replayed in axis order.
+func TestParallelSweepTraceByteIdentical(t *testing.T) {
+	axis := []int{2, 4, 8}
+	sweep := func(workers int) (*obs.Tracer, []*Result) {
+		tracer := obs.NewTracer()
+		rs, err := RunSweepPlan(SweepPlan{
+			Axis:    axis,
+			Workers: workers,
+			Trace:   tracer,
+			Configure: func(ctx CellContext) (Config, error) {
+				return faultyConfig(ctx.Procs), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tracer, rs
+	}
+	chrome := func(tr *obs.Tracer) []byte {
+		path := filepath.Join(t.TempDir(), "trace.json")
+		if err := obs.WriteChromeTraceFile(path, tr.Spans(), tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	metrics := func(tr *obs.Tracer) []byte {
+		var buf bytes.Buffer
+		if err := tr.Registry().Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seqTracer, seqResults := sweep(1)
+	parTracer, parResults := sweep(3)
+	if !bytes.Equal(marshalResults(t, seqResults), marshalResults(t, parResults)) {
+		t.Error("traced parallel sweep results differ from sequential")
+	}
+	if !bytes.Equal(chrome(seqTracer), chrome(parTracer)) {
+		t.Error("parallel campaign trace differs from sequential recording")
+	}
+	if !bytes.Equal(metrics(seqTracer), metrics(parTracer)) {
+		t.Errorf("parallel campaign metrics differ from sequential:\n%s\n%s",
+			metrics(seqTracer), metrics(parTracer))
+	}
+	// TraceEnd bookkeeping must tile the campaign axis identically too.
+	// It is never serialised (json:"-") and the merge associates its
+	// floating-point additions differently from the in-place sequential
+	// clock, so equality here is to ulp-level tolerance; all serialised
+	// artefacts (results JSON, trace, metrics) are byte-compared above.
+	for i := range seqResults {
+		s, p := float64(seqResults[i].TraceEnd), float64(parResults[i].TraceEnd)
+		if diff := math.Abs(s - p); diff > 1e-6 {
+			t.Errorf("p=%d: TraceEnd %v (sequential) != %v (parallel), diff %g",
+				seqResults[i].Procs, s, p, diff)
+		}
+	}
+}
+
+// TestParallelSweepSharedJournal exercises the worker pool against one
+// shared journal — the greenbench checkpointing path — and is the
+// scheduler's data-race canary under `go test -race`.
+func TestParallelSweepSharedJournal(t *testing.T) {
+	spec := cluster.Testbed()
+	axis := []int{2, 3, 4, 5, 6, 8}
+	journal, err := OpenJournal(filepath.Join(t.TempDir(), "sweep.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Bind(PaperOrder()); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	rs, err := RunSweepPlan(SweepPlan{
+		Axis:    axis,
+		Workers: 8,
+		Trace:   tracer,
+		Configure: func(ctx CellContext) (Config, error) {
+			cfg := SeededConfig(spec, ctx.Procs, 17)
+			mark := ctx.Rec.Mark()
+			cfg.OnBenchmark = func(bench string, run BenchmarkRun) error {
+				spans, events := ctx.Rec.Since(mark)
+				mark = ctx.Rec.Mark()
+				key := CellKey(spec.Name, ctx.Procs, cfg.Placement.String(), bench)
+				journal.SetTrace(key, CellTrace{
+					Spans:  obs.ShiftedSpans(spans, -ctx.Origin),
+					Events: obs.ShiftedEvents(events, -ctx.Origin),
+				})
+				return journal.Record(key, run)
+			}
+			return cfg, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(axis) {
+		t.Fatalf("got %d results, want %d", len(rs), len(axis))
+	}
+	if want := len(axis) * 3; journal.Len() != want {
+		t.Errorf("journal holds %d cells, want %d", journal.Len(), want)
+	}
+	// Every cell trace landed, relative to its own cell origin.
+	for _, p := range axis {
+		for _, b := range PaperOrder() {
+			tr, ok := journal.LookupTrace(CellKey(spec.Name, p, "cyclic", b))
+			if !ok {
+				t.Errorf("no journaled trace for p=%d %s", p, b)
+				continue
+			}
+			if len(tr.Spans) == 0 {
+				t.Errorf("empty journaled trace for p=%d %s", p, b)
+			}
+		}
+	}
+}
+
+// TestSweepPlanErrors: a failing cell reports the first axis position
+// that failed, wrapped with its process count, and Configure is required.
+func TestSweepPlanErrors(t *testing.T) {
+	if _, err := RunSweepPlan(SweepPlan{Axis: []int{2}}); err == nil {
+		t.Error("plan without Configure accepted")
+	}
+	spec := cluster.Testbed()
+	for _, workers := range []int{1, 4} {
+		_, err := RunSweepPlan(SweepPlan{
+			Axis:    []int{2, 4, 6},
+			Workers: workers,
+			Configure: func(ctx CellContext) (Config, error) {
+				cfg := SeededConfig(spec, ctx.Procs, 17)
+				if ctx.Procs >= 4 {
+					cfg.Procs = -1 // invalid: fails Validate inside Run
+				}
+				return cfg, nil
+			},
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: invalid cell accepted", workers)
+		}
+		if !strings.Contains(err.Error(), "p=4") {
+			t.Errorf("workers=%d: error does not name the first failing cell: %v", workers, err)
+		}
+	}
+}
+
+// TestSweepSeededViaPlanUnchanged pins the refactored SweepSeeded to its
+// historical output: routing the classic entry points through the
+// scheduler must not change a single byte.
+func TestSweepSeededViaPlanUnchanged(t *testing.T) {
+	spec := cluster.Testbed()
+	procs := []int{2, 4, 8}
+	direct := make([]*Result, 0, len(procs))
+	for _, p := range procs {
+		r, err := Run(SeededConfig(spec, p, 17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, r)
+	}
+	viaPlan, err := SweepSeeded(spec, procs, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalResults(t, direct), marshalResults(t, viaPlan)) {
+		t.Error("SweepSeeded output changed after scheduler refactor")
+	}
+	viaParallel, err := SweepParallel(spec, procs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalResults(t, direct), marshalResults(t, viaParallel)) {
+		t.Error("SweepParallel output differs from direct runs")
+	}
+}
+
+// BenchmarkSweepAxisSequential runs a full multi-point campaign on one
+// worker — the baseline the parallel scheduler is compared against
+// (make bench graphs the two side by side in BENCH_sweep.json).
+func BenchmarkSweepAxisSequential(b *testing.B) {
+	benchmarkSweepAxis(b, 1)
+}
+
+// BenchmarkSweepAxisParallel is the same campaign on four workers.
+func BenchmarkSweepAxisParallel(b *testing.B) {
+	benchmarkSweepAxis(b, 4)
+}
+
+func benchmarkSweepAxis(b *testing.B, workers int) {
+	spec := cluster.Fire()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepParallel(spec, FireSweep(), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

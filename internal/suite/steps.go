@@ -1,82 +1,48 @@
 package suite
 
 import (
+	"repro/internal/bench"
 	"repro/internal/cluster"
-	"repro/internal/hpl"
-	"repro/internal/iozone"
-	"repro/internal/stream"
 )
 
-// paperSteps returns the paper's three benchmarks in run order. Each step
-// closes over the config for tunables and runs its performance model
-// against the (possibly fault-degraded) spec handed in by the runner.
-func paperSteps(cfg *Config) []benchStep {
-	return []benchStep{
-		{
-			name:   BenchHPL,
-			metric: "GFLOPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				hplCfg := hpl.DefaultModelConfig(spec, cfg.Procs)
-				if cfg.Tunables.HPL != nil {
-					hplCfg = *cfg.Tunables.HPL
-				}
-				hplCfg.Placement = cfg.Placement
-				res, err := hpl.Simulate(hplCfg)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: float64(res.Perf) / 1e9, profile: res.Profile}, nil
-			},
-		},
-		{
-			name:   BenchSTREAM,
-			metric: "MBPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				stCfg := stream.DefaultModelConfig(spec, cfg.Procs)
-				if cfg.Tunables.Stream != nil {
-					stCfg = *cfg.Tunables.Stream
-				}
-				stCfg.Placement = cfg.Placement
-				res, err := stream.Simulate(stCfg)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: float64(res.Aggregate) / 1e6, profile: res.Profile}, nil
-			},
-		},
-		{
-			name:   BenchIOzone,
-			metric: "MBPS",
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				// IOzone: one I/O client per socket's worth of cores (clamped
-				// to the node count) — at 32 of Fire's 128 cores the write
-				// test runs 4 clients, so the I/O sweep covers the same
-				// 1…8-client range as the node axis of the paper's Figure 4.
-				perClient := spec.Node.CPU.CoresPerSocket
-				ioClients := (cfg.Procs + perClient - 1) / perClient
-				if ioClients > spec.Nodes {
-					ioClients = spec.Nodes
-				}
-				ioCfg := iozone.DefaultModelConfig(spec, ioClients)
-				// Every process contributes a fixed I/O volume (4.5 GB), so
-				// the test's duration scales with the sweep the way the
-				// compute benchmarks' do.
-				ioCfg.FileBytesPerNode = 4.5e9 * float64(cfg.Procs) / float64(ioClients)
-				if cfg.Tunables.IOzone != nil {
-					ioCfg = *cfg.Tunables.IOzone
-				}
-				ioCfg.Procs = cfg.Procs
-				ioCfg.EventLimit = cfg.Retry.EventBudget
-				res, err := iozone.Simulate(ioCfg)
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{
-					perf:    float64(res.Aggregate) / 1e6,
-					profile: res.Profile,
-					engine:  &res.Engine,
-				}, nil
-			},
-		},
+// benchmarks returns the run's effective ordered benchmark list: an
+// explicit Config.Benchmarks, or the paper's three by default.
+func (c *Config) benchmarks() []string {
+	if len(c.Benchmarks) > 0 {
+		return c.Benchmarks
 	}
+	return bench.PaperOrder()
+}
+
+// stepsFor assembles the run's steps from the workload registry — the
+// suite layer knows no benchmark by name. Each step wraps one registered
+// workload with the run's environment (process count, placement, tunable
+// override, event budget); the resilience machinery, journaling, tracing
+// and reports treat every workload identically.
+func stepsFor(cfg *Config) ([]benchStep, error) {
+	names, err := bench.Resolve(cfg.benchmarks())
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]benchStep, 0, len(names))
+	for _, name := range names {
+		w, _ := bench.Lookup(name)
+		steps = append(steps, benchStep{
+			name:   w.Name(),
+			metric: w.Metric(),
+			simulate: func(spec *cluster.Spec) (simulated, error) {
+				sm, err := w.Simulate(spec, bench.Env{
+					Procs:       cfg.Procs,
+					Placement:   cfg.Placement,
+					Override:    cfg.Tunables.override(w.Name()),
+					EventBudget: cfg.Retry.EventBudget,
+				})
+				if err != nil {
+					return simulated{}, err
+				}
+				return simulated{perf: sm.Perf, profile: sm.Profile, engine: sm.Engine}, nil
+			},
+		})
+	}
+	return steps, nil
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -32,19 +33,58 @@ import (
 	"repro/internal/units"
 )
 
-// Benchmark names as reported in measurements.
+// Benchmark names as reported in measurements (see the bench registry).
 const (
-	BenchHPL    = "HPL"
-	BenchSTREAM = "STREAM"
-	BenchIOzone = "IOzone"
+	BenchHPL    = bench.HPL
+	BenchSTREAM = bench.STREAM
+	BenchIOzone = bench.IOzone
+	BenchBeff   = bench.Beff
 )
 
+// PaperOrder lists the paper's three benchmarks in run order — the
+// default suite of a Config with no explicit benchmark list.
+func PaperOrder() []string { return bench.PaperOrder() }
+
+// Workloads returns every registered workload's canonical name, sorted —
+// the vocabulary Config.Benchmarks accepts.
+func Workloads() []string { return bench.Names() }
+
 // Tunables collects the benchmark-model knobs a run may override; zero
-// values select each model's defaults.
+// values select each model's defaults. The typed fields cover the
+// paper's three benchmarks; Overrides generalises the mechanism to every
+// registered workload.
 type Tunables struct {
 	HPL    *hpl.ModelConfig
 	Stream *stream.ModelConfig
 	IOzone *iozone.ModelConfig
+	// Overrides maps a canonical benchmark name (BenchHPL, "DGEMM", …)
+	// to the workload package's *ModelConfig, replacing that workload's
+	// default configuration wholesale. An entry here wins over the typed
+	// fields above; a value of the wrong concrete type fails the run
+	// with a descriptive error instead of being silently ignored.
+	Overrides map[string]any
+}
+
+// override resolves the effective override for one workload.
+func (t *Tunables) override(name string) any {
+	if o, ok := t.Overrides[name]; ok {
+		return o
+	}
+	switch name {
+	case BenchHPL:
+		if t.HPL != nil {
+			return t.HPL
+		}
+	case BenchSTREAM:
+		if t.Stream != nil {
+			return t.Stream
+		}
+	case BenchIOzone:
+		if t.IOzone != nil {
+			return t.IOzone
+		}
+	}
+	return nil
 }
 
 // Config describes one suite run.
@@ -52,7 +92,11 @@ type Config struct {
 	Spec      *cluster.Spec
 	Procs     int
 	Placement cluster.Placement
-	Meter     power.MeterConfig
+	// Benchmarks is the explicit ordered benchmark list of this run; names
+	// are matched against the workload registry case- and
+	// separator-insensitively. Empty means the paper's three (PaperOrder).
+	Benchmarks []string
+	Meter      power.MeterConfig
 	// PowerModel optionally overrides the default power model (ablations).
 	PowerModel *power.Model
 	// Facility, when set, converts the metered IT power to center-wide
@@ -111,6 +155,9 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if _, err := bench.Resolve(c.benchmarks()); err != nil {
+		return fmt.Errorf("suite: %w", err)
 	}
 	return nil
 }
@@ -205,9 +252,14 @@ func (r *Result) Benchmarks() []string {
 	return out
 }
 
-// Run executes the three-benchmark suite at one process count.
+// Run executes the configured benchmark suite at one process count — the
+// paper's three benchmarks unless Config.Benchmarks names another set.
 func Run(cfg Config) (*Result, error) {
-	return runSuite(cfg, paperSteps(&cfg))
+	steps, err := stepsFor(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	return runSuite(cfg, steps)
 }
 
 // Sweep runs the suite at each process count and returns the results in
@@ -218,15 +270,12 @@ func Sweep(spec *cluster.Spec, procs []int) ([]*Result, error) {
 
 // SweepSeeded is Sweep under an explicit meter-noise seed base.
 func SweepSeeded(spec *cluster.Spec, procs []int, seedBase uint64) ([]*Result, error) {
-	out := make([]*Result, 0, len(procs))
-	for _, p := range procs {
-		r, err := Run(SeededConfig(spec, p, seedBase))
-		if err != nil {
-			return nil, fmt.Errorf("suite: p=%d: %w", p, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunSweepPlan(SweepPlan{
+		Axis: procs,
+		Configure: func(ctx CellContext) (Config, error) {
+			return SeededConfig(spec, ctx.Procs, seedBase), nil
+		},
+	})
 }
 
 // FireSweep returns the paper's process-count axis on the Fire cluster:
