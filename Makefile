@@ -37,3 +37,7 @@ bench:
 		-benchtime 3x -json \
 		./internal/suite > BENCH_sweep.json
 	@grep -o '"Output":"BenchmarkSweepAxis[^"]*' BENCH_sweep.json | sed 's/"Output":"//' || true
+	$(GO) test -run '^$$' -bench 'BenchmarkBusPublish|BenchmarkTapSpan|BenchmarkHubProgress' \
+		-benchtime 100000x -json \
+		./internal/obs/live > BENCH_live.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_live.json | sed 's/"Output":"//' || true

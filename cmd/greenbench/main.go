@@ -37,14 +37,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/native"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/suite"
 	"repro/internal/units"
 )
@@ -87,6 +90,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the campaign")
 	metricsPath := flag.String("metrics", "", "write campaign metrics (counters, gauges, histograms) as JSON")
 	reportPath := flag.String("report", "", "write the human-readable run report ('-': stdout)")
+	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080; /metrics, /progress, /events)")
+	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this wall-clock interval (e.g. 2s; 0: off)")
+	eventsPath := flag.String("events", "", "append the live event stream to this file as NDJSON")
+	flightPath := flag.String("flightrec", "", "flight-recorder dump path on interrupt/abort (default: <out>.flightrec.json)")
+	cellPause := flag.Duration("cellpause", 0, "wall-clock pause before each sweep cell (demo/e2e pacing; virtual results unaffected)")
 	flag.Parse()
 
 	if err := run(options{
@@ -96,6 +104,8 @@ func main() {
 		faultsPath: *faultsPath, retries: *retries, timeout: *timeout,
 		resume: *resume, journalPath: *journalPath,
 		tracePath: *tracePath, metricsPath: *metricsPath, reportPath: *reportPath,
+		serve: *serve, progressEvery: *progressEvery, eventsPath: *eventsPath,
+		flightPath: *flightPath, cellPause: *cellPause,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
@@ -123,9 +133,18 @@ type options struct {
 	tracePath   string
 	metricsPath string
 	reportPath  string
+	// Live telemetry (wall-clock plane; see internal/obs/live).
+	serve         string
+	progressEvery time.Duration
+	eventsPath    string
+	flightPath    string
+	cellPause     time.Duration
 	// interruptAfter aborts a sweep after N checkpointed cells — a test
 	// hook simulating a killed process (the journal stays behind).
 	interruptAfter int
+	// onServe, when set, receives the live server's bound address as soon
+	// as it is listening — a test hook for ephemeral-port (:0) serving.
+	onServe func(addr string)
 }
 
 // traced reports whether any observability output was requested. The
@@ -133,6 +152,143 @@ type options struct {
 // provably inert (see internal/obs).
 func (o options) traced() bool {
 	return o.tracePath != "" || o.metricsPath != "" || o.reportPath != ""
+}
+
+// liveEnabled reports whether any wall-clock telemetry was requested.
+// Like tracing, the live plane only exists when asked for — and even
+// then it is inert: results, trace and metrics stay byte-identical.
+func (o options) liveEnabled() bool {
+	return o.serve != "" || o.progressEvery > 0 || o.eventsPath != "" || o.flightPath != ""
+}
+
+// flightFile resolves where a flight-recorder dump lands: an explicit
+// -flightrec wins, otherwise it derives from -o.
+func (o options) flightFile() string {
+	if o.flightPath != "" {
+		return o.flightPath
+	}
+	if o.out != "" {
+		return o.out + ".flightrec.json"
+	}
+	return "greenbench.flightrec.json"
+}
+
+// liveState bundles the wall-clock telemetry machinery for one
+// invocation: the hub, the optional HTTP server, NDJSON event log,
+// periodic progress printer, and the SIGINT flight-dump handler. All
+// methods are safe on a nil *liveState (telemetry off).
+type liveState struct {
+	o      options
+	hub    *live.Hub
+	server *live.Server
+	events *os.File
+	log    *live.EventLog
+	stop   chan struct{} // ends the progress ticker and signal handler
+	sigs   chan os.Signal
+}
+
+// Hub returns the hub to thread into the suite (nil when telemetry is
+// off — the scheduler and Tap treat that as "record nothing").
+func (ls *liveState) Hub() *live.Hub {
+	if ls == nil {
+		return nil
+	}
+	return ls.hub
+}
+
+// setupLive starts the requested live plane. snapshot supplies /metrics
+// with the campaign registry view (empty when the run is untraced).
+func setupLive(o options, snapshot func() obs.Snapshot) (*liveState, error) {
+	if !o.liveEnabled() {
+		return nil, nil
+	}
+	ls := &liveState{o: o, hub: live.NewHub(), stop: make(chan struct{})}
+	if o.serve != "" {
+		srv, err := live.NewServer(o.serve, ls.hub, snapshot)
+		if err != nil {
+			return nil, err
+		}
+		ls.server = srv
+		fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics /progress /events)\n", srv.Addr())
+		if o.onServe != nil {
+			o.onServe(srv.Addr())
+		}
+	}
+	if o.eventsPath != "" {
+		f, err := os.Create(o.eventsPath)
+		if err != nil {
+			ls.shutdown()
+			return nil, err
+		}
+		ls.events = f
+		ls.log = live.StartEventLog(ls.hub.Bus(), f, 1024)
+	}
+	if o.progressEvery > 0 {
+		go func() {
+			t := time.NewTicker(o.progressEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, ls.hub.Progress().String())
+				case <-ls.stop:
+					return
+				}
+			}
+		}()
+	}
+	// A SIGINT mid-campaign dumps the flight recorder before dying, so an
+	// interrupted sweep leaves its last moments on disk next to the
+	// journal it also leaves behind.
+	ls.sigs = make(chan os.Signal, 1)
+	signal.Notify(ls.sigs, os.Interrupt)
+	go func() {
+		select {
+		case <-ls.sigs:
+			ls.dump("sigint")
+			os.Exit(130)
+		case <-ls.stop:
+		}
+	}()
+	return ls, nil
+}
+
+// dump writes the flight recorder to the resolved dump path.
+func (ls *liveState) dump(reason string) {
+	if ls == nil {
+		return
+	}
+	path := ls.o.flightFile()
+	if err := ls.hub.DumpFlight(path, reason); err != nil {
+		fmt.Fprintf(os.Stderr, "greenbench: flight dump failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (flight recorder, reason: %s)\n", path, reason)
+}
+
+// shutdown tears the live plane down: final progress line, server close,
+// event-log flush.
+func (ls *liveState) shutdown() {
+	if ls == nil {
+		return
+	}
+	signal.Stop(ls.sigs)
+	close(ls.stop)
+	if ls.o.progressEvery > 0 {
+		fmt.Fprintln(os.Stderr, ls.hub.Progress().String())
+	}
+	if ls.server != nil {
+		ls.server.Close()
+	}
+	if ls.log != nil {
+		ls.log.Close()
+		if n := ls.log.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "greenbench: event log dropped %d event(s) (writer too slow)\n", n)
+		}
+	}
+	if ls.events != nil {
+		ls.events.Close()
+	}
 }
 
 // retryPolicy translates the CLI knobs into a suite.RetryPolicy. Retries
@@ -250,6 +406,23 @@ func run(o options) error {
 	if o.traced() {
 		tracer = obs.NewTracer()
 	}
+	snapshot := func() obs.Snapshot {
+		if tracer == nil {
+			return obs.Snapshot{}
+		}
+		return tracer.Registry().Snapshot()
+	}
+	ls, err := setupLive(o, snapshot)
+	if err != nil {
+		return err
+	}
+	defer ls.shutdown()
+	defer func() {
+		if p := recover(); p != nil {
+			ls.dump(fmt.Sprintf("panic: %v", p))
+			panic(p)
+		}
+	}()
 	configure := func(p int) suite.Config {
 		cfg := suite.DefaultConfig(spec, p)
 		cfg.Placement = pl
@@ -291,7 +464,14 @@ func run(o options) error {
 			Axis:    axis,
 			Workers: o.workers,
 			Trace:   tracer,
+			Live:    ls.Hub(),
 			Configure: func(ctx suite.CellContext) (suite.Config, error) {
+				// A wall-clock pause paces demo and e2e runs so there is a
+				// window to watch /progress mid-campaign. It happens before
+				// the virtual simulation and cannot touch its results.
+				if o.cellPause > 0 {
+					time.Sleep(o.cellPause)
+				}
 				cfg := configure(ctx.Procs)
 				if journal == nil {
 					return cfg, nil
@@ -344,6 +524,7 @@ func run(o options) error {
 			},
 		}
 		if results, err = suite.RunSweepPlan(sweepPlan); err != nil {
+			ls.dump("abort: " + err.Error())
 			return err
 		}
 	} else {
@@ -354,10 +535,27 @@ func run(o options) error {
 		if tracer != nil {
 			cfg.Trace = tracer
 		}
+		// A single run is a one-cell campaign on the live plane.
+		if hub := ls.Hub(); hub != nil {
+			cfg.Trace = hub.Tap(cfg.Trace, procs)
+			hub.SweepStarted(1, 1)
+		}
+		tok := ls.Hub().CellStarted(procs)
+		if o.cellPause > 0 {
+			time.Sleep(o.cellPause)
+		}
 		r, err := suite.Run(cfg)
 		if err != nil {
+			ls.Hub().CellFailed(tok, err)
+			ls.dump("abort: " + err.Error())
 			return err
 		}
+		var retries int
+		for _, b := range r.Runs {
+			retries += b.Retries
+		}
+		ls.Hub().CellFinished(tok, retries, r.Degraded)
+		ls.Hub().SweepFinished()
 		results = []*suite.Result{r}
 	}
 
@@ -431,6 +629,7 @@ func writeObservability(o options, tracer *obs.Tracer, results []*suite.Result) 
 			title = fmt.Sprintf("greenbench campaign: %s", results[0].System)
 		}
 		rep := suite.BuildReport(title, results)
+		suite.AttachPercentiles(rep, tracer.Registry().Snapshot())
 		if o.reportPath == "-" {
 			return rep.Render(os.Stdout)
 		}

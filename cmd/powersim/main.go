@@ -157,6 +157,24 @@ func run(o options, out, errw io.Writer) error {
 		}
 	}
 
+	var percentiles []report.PercentileRow
+	if tracer != nil {
+		for _, h := range tracer.Registry().Snapshot().Histograms {
+			if h.Name != "meter.window_seconds" || h.Count == 0 {
+				continue
+			}
+			p50, ok := h.Quantile(0.50)
+			if !ok {
+				continue
+			}
+			p95, _ := h.Quantile(0.95)
+			p99, _ := h.Quantile(0.99)
+			percentiles = append(percentiles, report.PercentileRow{
+				Bench: h.Name, Count: h.Count, P50: p50, P95: p95, P99: p99,
+			})
+		}
+	}
+
 	rep := &report.RunReport{
 		Title: fmt.Sprintf("powersim: %s on %s", strings.ToUpper(o.bench), spec.Name),
 		Rows: []report.RunRow{{
@@ -169,6 +187,8 @@ func run(o options, out, errw io.Writer) error {
 			Seconds:   float64(profile.Duration()),
 			EnergyJ:   float64(energy),
 		}},
+		Percentiles:     percentiles,
+		PercentileTitle: "meter window seconds (virtual)",
 		Summary: []report.KV{
 			{Key: "samples", Value: fmt.Sprintf("%d", trace.Len())},
 			{Key: "interval", Value: fmt.Sprintf("%g s", o.interval)},

@@ -105,6 +105,41 @@ func TestReportFileRoutesSummary(t *testing.T) {
 	}
 }
 
+// TestReportIncludesMeterPercentiles: when instrumentation is on, the
+// run summary carries a percentile row for the meter window histogram.
+func TestReportIncludesMeterPercentiles(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("testbed", 4, "hpl", 1, 1)
+	o.metricsPath = filepath.Join(dir, "run.metrics.json")
+	o.reportPath = filepath.Join(dir, "run.report.txt")
+	var sb, errb strings.Builder
+	if err := run(o, &sb, &errb); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"meter window seconds (virtual)", "meter.window_seconds", "p50_s"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("report missing %q:\n%s", want, b)
+		}
+	}
+	// Without instrumentation there is no histogram and no table.
+	o2 := opts("testbed", 4, "hpl", 1, 1)
+	o2.reportPath = filepath.Join(dir, "plain.report.txt")
+	if err := run(o2, &sb, &errb); err != nil {
+		t.Fatal(err)
+	}
+	p, err := os.ReadFile(o2.reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(p), "p50_s") {
+		t.Errorf("uninstrumented report still shows percentiles:\n%s", p)
+	}
+}
+
 func TestTraceAndMetricsOutputs(t *testing.T) {
 	dir := t.TempDir()
 	o := opts("testbed", 4, "iozone", 1, 1)

@@ -171,7 +171,7 @@ func (inj Injection) Record(rec obs.Recorder, bench string, attempt int, start, 
 	if inj.Slowdown > 1 {
 		rec.Event(obs.Event{
 			Track: bench,
-			Name:  "fault: straggler",
+			Name:  obs.EventStraggler,
 			At:    start,
 			Attrs: []obs.Attr{
 				obs.Int("attempt", attempt+1),
@@ -191,7 +191,7 @@ func (inj Injection) Record(rec obs.Recorder, bench string, attempt int, start, 
 		}
 		rec.Event(obs.Event{
 			Track: bench,
-			Name:  "fault: node crash",
+			Name:  obs.EventNodeCrash,
 			At:    at,
 			Attrs: []obs.Attr{
 				obs.Int("attempt", attempt+1),

@@ -188,7 +188,7 @@ func RunTraced(n int, rec obs.Recorder, fn func(c *Comm) error) error {
 			attrs = append(attrs, obs.Str("error", err.Error()))
 		}
 		rec.Span(obs.Span{
-			Track: "mpirt",
+			Track: obs.TrackMPI,
 			Name:  fmt.Sprintf("rank %d", c.rank),
 			Start: units.Seconds(start),
 			End:   units.Seconds(end),
@@ -197,6 +197,22 @@ func RunTraced(n int, rec obs.Recorder, fn func(c *Comm) error) error {
 		rec.Count("mpirt.ranks", 1)
 		if err != nil {
 			rec.Count("mpirt.rank_failures", 1)
+			// The rank that died with its own error (not a peer's abort
+			// propagating back) is the one that poisoned the world: record
+			// the abort as an instant so trace and live consumers see who
+			// initiated the collapse, not just which ranks drowned in it.
+			if !errors.Is(err, ErrAborted) {
+				rec.Event(obs.Event{
+					Track: obs.TrackMPI,
+					Name:  obs.EventMPIAbort,
+					At:    units.Seconds(end),
+					Attrs: []obs.Attr{
+						obs.Int("rank", c.rank),
+						obs.Str("error", err.Error()),
+					},
+				})
+				rec.Count("mpirt.aborts", 1)
+			}
 		}
 		return err
 	})

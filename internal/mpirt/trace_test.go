@@ -113,3 +113,55 @@ func TestRunTracedCountsFailures(t *testing.T) {
 		t.Error("failed rank's span does not carry the error attribute")
 	}
 }
+
+// TestRunTracedRecordsAbortInitiator: when one rank dies and poisons the
+// world, only that rank records the abort event — the peers that drown
+// in ErrAborted count as failures but not as initiators.
+func TestRunTracedRecordsAbortInitiator(t *testing.T) {
+	tracer := obs.NewTracer()
+	boom := errors.New("rank 1 exploded")
+	err := RunTraced(4, tracer, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return boom
+		}
+		// Everyone else blocks on a barrier that can never complete and
+		// dies of the propagated abort.
+		return c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected an error from the aborted world")
+	}
+	var aborts float64
+	for _, c := range tracer.Registry().Snapshot().Counters {
+		if c.Name == "mpirt.aborts" {
+			aborts = c.Value
+		}
+	}
+	if aborts != 1 {
+		t.Errorf("mpirt.aborts = %v, want exactly 1 (the initiator)", aborts)
+	}
+	var events int
+	for _, e := range tracer.Events() {
+		if e.Name == obs.EventMPIAbort {
+			events++
+			var rank, errAttr string
+			for _, a := range e.Attrs {
+				switch a.Key {
+				case "rank":
+					rank = a.Value
+				case "error":
+					errAttr = a.Value
+				}
+			}
+			if rank != "1" {
+				t.Errorf("abort event names rank %q, want 1", rank)
+			}
+			if errAttr != boom.Error() {
+				t.Errorf("abort event error = %q, want %q", errAttr, boom.Error())
+			}
+		}
+	}
+	if events != 1 {
+		t.Errorf("recorded %d abort events, want 1", events)
+	}
+}

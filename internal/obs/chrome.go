@@ -37,6 +37,9 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []Event) error {
 	micros := func(sec float64) string {
 		return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
 	}
+	// Names, tracks and attributes are user-influenced strings (custom
+	// workload names, fault-plan errors): escape them with the JSON-safe
+	// escaper, not %q, so hostile names cannot corrupt the file.
 	args := func(attrs []Attr) string {
 		var b strings.Builder
 		b.WriteString("{")
@@ -44,7 +47,9 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []Event) error {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%q: %q", a.Key, a.Value)
+			appendJSONString(&b, a.Key)
+			b.WriteString(": ")
+			appendJSONString(&b, a.Value)
 		}
 		b.WriteString("}")
 		return b.String()
@@ -62,7 +67,7 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []Event) error {
 	}
 	emit(`{"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "greenindex"}}`)
 	for i, track := range tracks {
-		emit(fmt.Sprintf(`{"name": "thread_name", "ph": "M", "pid": 1, "tid": %d, "args": {"name": %q}}`, i+1, track))
+		emit(fmt.Sprintf(`{"name": "thread_name", "ph": "M", "pid": 1, "tid": %d, "args": {"name": %s}}`, i+1, JSONString(track)))
 		emit(fmt.Sprintf(`{"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": %d, "args": {"sort_index": %q}}`, i+1, strconv.Itoa(i+1)))
 	}
 	for _, s := range spans {
@@ -70,12 +75,12 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []Event) error {
 		if dur < 0 {
 			return fmt.Errorf("obs: span %q on %q ends %v before it starts %v", s.Name, s.Track, s.End, s.Start)
 		}
-		emit(fmt.Sprintf(`{"name": %q, "ph": "X", "ts": %s, "dur": %s, "pid": 1, "tid": %d, "args": %s}`,
-			s.Name, micros(float64(s.Start)), micros(dur), tids[s.Track], args(s.Attrs)))
+		emit(fmt.Sprintf(`{"name": %s, "ph": "X", "ts": %s, "dur": %s, "pid": 1, "tid": %d, "args": %s}`,
+			JSONString(s.Name), micros(float64(s.Start)), micros(dur), tids[s.Track], args(s.Attrs)))
 	}
 	for _, e := range events {
-		emit(fmt.Sprintf(`{"name": %q, "ph": "i", "ts": %s, "pid": 1, "tid": %d, "s": "t", "args": %s}`,
-			e.Name, micros(float64(e.At)), tids[e.Track], args(e.Attrs)))
+		emit(fmt.Sprintf(`{"name": %s, "ph": "i", "ts": %s, "pid": 1, "tid": %d, "s": "t", "args": %s}`,
+			JSONString(e.Name), micros(float64(e.At)), tids[e.Track], args(e.Attrs)))
 	}
 	b.WriteString("\n], \"displayTimeUnit\": \"ms\"}\n")
 	_, err := io.WriteString(w, b.String())

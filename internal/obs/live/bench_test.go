@@ -1,0 +1,82 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BenchmarkBusPublishNoSubscriber pins the cost of leaving publish sites
+// unconditional: with nobody listening a publish must stay O(ns).
+func BenchmarkBusPublishNoSubscriber(b *testing.B) {
+	bus := NewBus()
+	e := Event{Kind: KindSpan, Name: "bench"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(e)
+	}
+}
+
+// BenchmarkBusPublishOneSubscriber measures fan-out to a single drained
+// subscriber (the /events or -events path).
+func BenchmarkBusPublishOneSubscriber(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(1024)
+	defer sub.Close()
+	go func() {
+		for {
+			select {
+			case <-sub.Events():
+			case <-sub.Done():
+				return
+			}
+		}
+	}()
+	e := Event{Kind: KindSpan, Name: "bench"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(e)
+	}
+}
+
+// BenchmarkBusPublishBlockedSubscriber measures the drop path: a full
+// buffer must cost a counter increment, not a stall.
+func BenchmarkBusPublishBlockedSubscriber(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(1) // never drained
+	defer sub.Close()
+	bus.Publish(Event{}) // fill the buffer
+	e := Event{Kind: KindSpan, Name: "bench"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(e)
+	}
+}
+
+// BenchmarkTapSpan measures the live-plane overhead added to a recorded
+// span when a hub taps the recorder and nobody subscribes.
+func BenchmarkTapSpan(b *testing.B) {
+	h := NewHubAt(time.Now, DefaultFlightCapacity)
+	rec := h.Tap(obs.Discard, 4)
+	s := obs.Span{Track: obs.TrackMeter, Name: obs.NameMeterWindow, Start: 1, End: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Span(s)
+	}
+}
+
+// BenchmarkHubProgress measures the snapshot cost the /progress endpoint
+// pays per request.
+func BenchmarkHubProgress(b *testing.B) {
+	h := NewHub()
+	h.SweepStarted(100, 4)
+	for i := 0; i < 50; i++ {
+		tok := h.CellStarted(1)
+		h.CellFinished(tok, 0, false)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Progress()
+	}
+}

@@ -1,0 +1,103 @@
+package live
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultFlightCapacity is the flight-recorder ring size used by NewHub:
+// enough to cover the last few cells of a parallel sweep without holding
+// a full campaign's event stream in memory.
+const DefaultFlightCapacity = 512
+
+// FlightRecorder keeps the most recent events in a bounded ring so that
+// a crash, abort or interrupt can dump what the campaign was doing just
+// before it died. Unlike bus subscribers it never drops the newest data —
+// it overwrites the oldest.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder holding up to capacity events
+// (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{ring: make([]Event, 0, capacity)}
+}
+
+// append stores e (stamping its sequence number) and returns that
+// sequence number. Sequence numbers start at 1 and count every event
+// ever appended, including those since overwritten.
+func (f *FlightRecorder) append(e Event) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	e.Seq = f.total
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.next] = e
+	}
+	f.next = (f.next + 1) % cap(f.ring)
+	return e.Seq
+}
+
+// Total returns how many events have ever been appended.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Events returns the retained events in append order (oldest first).
+func (f *FlightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, len(f.ring))
+	if len(f.ring) == cap(f.ring) {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	} else {
+		out = append(out, f.ring...)
+	}
+	return out
+}
+
+// FlightDump is the on-disk form of a flight-recorder dump.
+type FlightDump struct {
+	Reason      string    `json:"reason"`
+	DumpedAt    time.Time `json:"dumped_at"`
+	TotalEvents uint64    `json:"total_events"`
+	Capacity    int       `json:"capacity"`
+	Events      []Event   `json:"events"`
+}
+
+// Dump snapshots the ring into a FlightDump.
+func (f *FlightRecorder) Dump(reason string, at time.Time) FlightDump {
+	events := f.Events()
+	return FlightDump{
+		Reason:      reason,
+		DumpedAt:    at,
+		TotalEvents: f.Total(),
+		Capacity:    cap(f.ring),
+		Events:      events,
+	}
+}
+
+// WriteFile writes the dump to path as indented JSON.
+func (f *FlightRecorder) WriteFile(path, reason string, at time.Time) error {
+	d := f.Dump(reason, at)
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

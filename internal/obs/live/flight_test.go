@@ -1,0 +1,67 @@
+package live
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingOverwrite(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		seq := f.append(Event{Kind: KindSpan})
+		if seq != uint64(i) {
+			t.Fatalf("append %d returned seq %d", i, seq)
+		}
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d, want 10", f.Total())
+	}
+	got := f.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("retained[%d].Seq = %d, want %d (oldest-first)", i, e.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.append(Event{Kind: KindSpan})
+	f.append(Event{Kind: KindEvent})
+	got := f.Events()
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("partial ring events = %+v", got)
+	}
+}
+
+func TestFlightRecorderWriteFile(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 5; i++ {
+		f.append(Event{Kind: KindCellFinished, Procs: 1 << i})
+	}
+	path := filepath.Join(t.TempDir(), "flight.json")
+	at := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := f.WriteFile(path, "sigint", at); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Reason != "sigint" || d.TotalEvents != 5 || d.Capacity != 16 || len(d.Events) != 5 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if !d.DumpedAt.Equal(at) {
+		t.Fatalf("dumped_at = %v, want %v", d.DumpedAt, at)
+	}
+}

@@ -1,0 +1,205 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Hub is the live plane's front door: the sweep scheduler publishes
+// lifecycle events to it, and Tap mirrors the virtual-plane record stream
+// through it. A Hub owns an event bus (streaming consumers), a progress
+// accumulator (the /progress snapshot and -progress line), and a flight
+// recorder (post-mortem ring). All methods are safe on a nil *Hub, which
+// records nothing — call sites thread one field through unconditionally,
+// exactly like a nil *obs.Tracer.
+type Hub struct {
+	bus  *Bus
+	prog *progress
+	fr   *FlightRecorder
+	now  func() time.Time
+}
+
+// NewHub returns a hub on the wall clock with the default flight-recorder
+// capacity.
+func NewHub() *Hub { return NewHubAt(time.Now, DefaultFlightCapacity) }
+
+// NewHubAt builds a hub with an injectable clock and flight capacity —
+// tests pin the clock to make snapshots deterministic.
+func NewHubAt(now func() time.Time, flightCapacity int) *Hub {
+	return &Hub{
+		bus:  NewBus(),
+		prog: newProgress(now),
+		fr:   NewFlightRecorder(flightCapacity),
+		now:  now,
+	}
+}
+
+// Bus exposes the hub's event bus for subscribing. Nil on a nil hub.
+func (h *Hub) Bus() *Bus {
+	if h == nil {
+		return nil
+	}
+	return h.bus
+}
+
+// publish stamps the event with a sequence number and wall time, records
+// it in the flight ring, and fans it out. Backoff mirrors double as the
+// live retry counter: one backoff span precedes every retry attempt.
+func (h *Hub) publish(e Event) {
+	if h == nil {
+		return
+	}
+	e.Wall = h.now()
+	e.Seq = h.fr.append(e)
+	if e.Kind == KindBackoff {
+		h.prog.retry()
+	}
+	h.bus.Publish(e)
+}
+
+// SweepStarted announces a sweep of total cells running on workers
+// goroutines. A hub may carry several sweeps; totals accumulate.
+func (h *Hub) SweepStarted(total, workers int) {
+	if h == nil {
+		return
+	}
+	h.prog.sweepStarted(total, workers)
+	h.publish(Event{Kind: KindSweepStarted, Attrs: []obs.Attr{
+		obs.Int("cells", total), obs.Int("workers", workers),
+	}})
+}
+
+// SweepFinished marks the current sweep complete.
+func (h *Hub) SweepFinished() {
+	if h == nil {
+		return
+	}
+	h.prog.sweepFinished()
+	h.publish(Event{Kind: KindSweepFinished})
+}
+
+// CellToken identifies one in-flight sweep cell. The zero token is valid
+// to pass back (from a nil hub's CellStarted).
+type CellToken struct {
+	procs int
+	start time.Time
+}
+
+// CellStarted announces a cell entering execution and returns its token.
+func (h *Hub) CellStarted(procs int) CellToken {
+	if h == nil {
+		return CellToken{}
+	}
+	tok := CellToken{procs: procs, start: h.now()}
+	h.prog.cellStarted()
+	h.publish(Event{Kind: KindCellStarted, Procs: procs})
+	return tok
+}
+
+// CellFinished announces a cell's successful completion. retries is the
+// count of re-run attempts the cell needed beyond its backoffs already
+// streamed live; degraded marks a result produced under partial failure.
+func (h *Hub) CellFinished(tok CellToken, retries int, degraded bool) {
+	if h == nil {
+		return
+	}
+	wall := h.now().Sub(tok.start).Seconds()
+	// Backoff mirrors already advanced the live retry counter mid-cell;
+	// the completion event carries the authoritative count for consumers
+	// but contributes nothing further to the live total.
+	h.prog.cellFinished(wall, 0, degraded)
+	attrs := []obs.Attr{
+		obs.F64("wall_seconds", wall),
+		obs.Int("retries", retries),
+	}
+	if degraded {
+		attrs = append(attrs, obs.Str("degraded", "true"))
+	}
+	h.publish(Event{Kind: KindCellFinished, Procs: tok.procs, Attrs: attrs})
+}
+
+// CellFailed announces a cell that exhausted its retries.
+func (h *Hub) CellFailed(tok CellToken, err error) {
+	if h == nil {
+		return
+	}
+	h.prog.cellFailed()
+	var attrs []obs.Attr
+	if err != nil {
+		attrs = append(attrs, obs.Str("error", err.Error()))
+	}
+	h.publish(Event{Kind: KindCellFailed, Procs: tok.procs, Attrs: attrs})
+}
+
+// Progress returns the current progress snapshot.
+func (h *Hub) Progress() ProgressSnapshot {
+	if h == nil {
+		return ProgressSnapshot{ETASeconds: -1}
+	}
+	s := h.prog.snapshot()
+	s.EventsPublished = h.fr.Total()
+	s.EventsDropped = h.bus.Dropped()
+	return s
+}
+
+// DumpFlight writes the flight-recorder ring to path. No-op (nil error)
+// on a nil hub.
+func (h *Hub) DumpFlight(path, reason string) error {
+	if h == nil {
+		return nil
+	}
+	return h.fr.WriteFile(path, reason, h.now())
+}
+
+// Tap wraps a virtual-plane recorder so its stream is mirrored onto the
+// live plane. Every record is forwarded to inner verbatim — the virtual
+// plane sees exactly what it would without the tap, preserving the
+// byte-determinism of results, traces and metrics. Spans and events are
+// additionally classified and published with wall-clock timestamps;
+// metric updates are forwarded only (their volume belongs to the
+// registry, not the stream). A nil hub returns inner unchanged.
+func (h *Hub) Tap(inner obs.Recorder, procs int) obs.Recorder {
+	if h == nil {
+		return inner
+	}
+	if inner == nil {
+		inner = obs.Discard
+	}
+	return &tap{hub: h, inner: inner, procs: procs}
+}
+
+type tap struct {
+	hub   *Hub
+	inner obs.Recorder
+	procs int
+}
+
+func (t *tap) Span(s obs.Span) {
+	t.inner.Span(s)
+	t.hub.publish(Event{
+		Kind:      classifySpan(s),
+		Track:     s.Track,
+		Name:      s.Name,
+		Procs:     t.procs,
+		VirtStart: float64(s.Start),
+		VirtEnd:   float64(s.End),
+		Attrs:     s.Attrs,
+	})
+}
+
+func (t *tap) Event(e obs.Event) {
+	t.inner.Event(e)
+	t.hub.publish(Event{
+		Kind:      classifyEvent(e),
+		Track:     e.Track,
+		Name:      e.Name,
+		Procs:     t.procs,
+		VirtStart: float64(e.At),
+		Attrs:     e.Attrs,
+	})
+}
+
+func (t *tap) Count(name string, delta float64) { t.inner.Count(name, delta) }
+func (t *tap) Gauge(name string, v float64)     { t.inner.Gauge(name, v) }
+func (t *tap) Observe(name string, v float64)   { t.inner.Observe(name, v) }

@@ -1,0 +1,71 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// WriteEventNDJSON appends e to w as one JSON line (newline-delimited
+// JSON, one event per line).
+func WriteEventNDJSON(w io.Writer, e Event) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// EventLog drains a bus subscription into an NDJSON stream on its own
+// goroutine — the persistent event log behind greenbench -events. A slow
+// writer costs dropped events (counted on the subscription), never a
+// stalled sweep.
+type EventLog struct {
+	sub  *Subscription
+	done chan struct{}
+	once sync.Once
+}
+
+// StartEventLog subscribes to bus with the given buffer and streams every
+// received event to w as NDJSON until Close.
+func StartEventLog(bus *Bus, w io.Writer, buffer int) *EventLog {
+	l := &EventLog{sub: bus.Subscribe(buffer), done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		for {
+			select {
+			case e := <-l.sub.Events():
+				if WriteEventNDJSON(w, e) != nil {
+					return
+				}
+			case <-l.sub.Done():
+				// Detached: drain whatever is still buffered, then stop.
+				for {
+					select {
+					case e := <-l.sub.Events():
+						if WriteEventNDJSON(w, e) != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return l
+}
+
+// Dropped returns how many events the log lost to a full buffer.
+func (l *EventLog) Dropped() uint64 { return l.sub.Dropped() }
+
+// Close detaches the log from the bus, waits for buffered events to be
+// flushed, and returns.
+func (l *EventLog) Close() {
+	l.once.Do(func() {
+		l.sub.Close()
+		<-l.done
+	})
+}

@@ -1,0 +1,57 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes bytes.Buffer safe for the EventLog goroutine to write
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestEventLogWritesNDJSON(t *testing.T) {
+	bus := NewBus()
+	var buf syncBuffer
+	log := StartEventLog(bus, &buf, 64)
+	for i := 1; i <= 5; i++ {
+		bus.Publish(Event{Seq: uint64(i), Kind: KindCellFinished, Wall: time.Unix(int64(i), 0).UTC()})
+	}
+	log.Close()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5\n%s", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+		if e.Seq != uint64(i+1) || e.Kind != KindCellFinished {
+			t.Fatalf("line %d = %+v", i, e)
+		}
+	}
+	if log.Dropped() != 0 {
+		t.Fatalf("dropped = %d", log.Dropped())
+	}
+	log.Close() // idempotent
+}

@@ -1,0 +1,165 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// etaWindow bounds the rolling sample of completed-cell wall durations
+// feeding the ETA estimate: recent cells dominate, so the estimate tracks
+// the axis (later, larger process counts usually run longer).
+const etaWindow = 32
+
+// ProgressSnapshot is a point-in-time view of a campaign's progress,
+// served as /progress JSON and rendered by the -progress stderr line.
+// All durations are wall-clock — this is the live plane.
+type ProgressSnapshot struct {
+	CellsTotal    int  `json:"cells_total"`
+	CellsDone     int  `json:"cells_done"`
+	CellsFailed   int  `json:"cells_failed"`
+	InFlight      int  `json:"in_flight"`
+	Retries       int  `json:"retries"`
+	DegradedCells int  `json:"degraded_cells"`
+	Workers       int  `json:"workers"`
+	Done          bool `json:"done"`
+
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	CellSecondsMean float64 `json:"cell_seconds_mean"`
+	// ETASeconds estimates the remaining wall-clock time from the rolling
+	// mean of recent cell durations; -1 until a first cell completes.
+	ETASeconds float64 `json:"eta_seconds"`
+
+	EventsPublished uint64 `json:"events_published"`
+	EventsDropped   uint64 `json:"events_dropped"`
+}
+
+// String renders the snapshot as the one-line progress format shared by
+// greenbench -progress and the examples.
+func (p ProgressSnapshot) String() string {
+	eta := "?"
+	if p.ETASeconds >= 0 {
+		eta = fmt.Sprintf("%.0fs", p.ETASeconds)
+	}
+	return fmt.Sprintf(
+		"progress: %d/%d cells done, %d in flight, %d retries, %d degraded, elapsed %.1fs, eta %s",
+		p.CellsDone, p.CellsTotal, p.InFlight, p.Retries, p.DegradedCells,
+		p.ElapsedSeconds, eta)
+}
+
+// progress accumulates campaign progress from the lifecycle calls the
+// Hub receives. It is internal: the Hub is the only writer.
+type progress struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	start    time.Time
+	started  bool
+	finished bool
+
+	total, done, failed, inFlight int
+	retries, degraded, workers    int
+
+	durs []float64 // rolling window of completed-cell wall seconds
+	next int
+}
+
+func newProgress(now func() time.Time) *progress {
+	return &progress{now: now, durs: make([]float64, 0, etaWindow)}
+}
+
+func (p *progress) sweepStarted(total, workers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		p.start = p.now()
+		p.started = true
+	}
+	// A campaign may chain several sweeps through one hub: totals add up.
+	p.total += total
+	if workers > p.workers {
+		p.workers = workers
+	}
+	p.finished = false
+}
+
+func (p *progress) sweepFinished() {
+	p.mu.Lock()
+	p.finished = true
+	p.mu.Unlock()
+}
+
+func (p *progress) cellStarted() {
+	p.mu.Lock()
+	p.inFlight++
+	p.mu.Unlock()
+}
+
+func (p *progress) cellFinished(wallSeconds float64, retries int, degraded bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inFlight--
+	p.done++
+	p.retries += retries
+	if degraded {
+		p.degraded++
+	}
+	if len(p.durs) < cap(p.durs) {
+		p.durs = append(p.durs, wallSeconds)
+	} else {
+		p.durs[p.next] = wallSeconds
+	}
+	p.next = (p.next + 1) % cap(p.durs)
+}
+
+func (p *progress) cellFailed() {
+	p.mu.Lock()
+	p.inFlight--
+	p.failed++
+	p.mu.Unlock()
+}
+
+// retry records one observed backoff (a retry about to run) so the live
+// counter moves mid-cell, before the cell's result reports its total.
+func (p *progress) retry() {
+	p.mu.Lock()
+	p.retries++
+	p.mu.Unlock()
+}
+
+// snapshot copies the current state into an exported view.
+func (p *progress) snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		CellsTotal:    p.total,
+		CellsDone:     p.done,
+		CellsFailed:   p.failed,
+		InFlight:      p.inFlight,
+		Retries:       p.retries,
+		DegradedCells: p.degraded,
+		Workers:       p.workers,
+		Done:          p.finished,
+		ETASeconds:    -1,
+	}
+	if p.started {
+		s.ElapsedSeconds = p.now().Sub(p.start).Seconds()
+	}
+	if n := len(p.durs); n > 0 {
+		var sum float64
+		for _, d := range p.durs {
+			sum += d
+		}
+		s.CellSecondsMean = sum / float64(n)
+		remaining := p.total - p.done - p.failed
+		if remaining <= 0 {
+			s.ETASeconds = 0
+		} else {
+			workers := p.workers
+			if workers < 1 {
+				workers = 1
+			}
+			s.ETASeconds = s.CellSecondsMean * float64(remaining) / float64(workers)
+		}
+	}
+	return s
+}

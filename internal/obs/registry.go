@@ -109,6 +109,52 @@ type HistSnap struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the histogram by
+// linear interpolation within the bucket holding the target rank — the
+// same estimate Prometheus's histogram_quantile computes. The first
+// bucket interpolates from zero; observations in the overflow bucket
+// clamp to the highest finite bound (the estimate cannot exceed what the
+// buckets resolve). ok is false when the histogram is empty or q is out
+// of range.
+func (h HistSnap) Quantile(q float64) (v float64, ok bool) {
+	if h.Count == 0 || q < 0 || q > 1 ||
+		len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0, false
+	}
+	target := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i == len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1], true
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac, true
+		}
+		cum = next
+	}
+	return h.Bounds[len(h.Bounds)-1], true
+}
+
+// quantileOrZero renders a quantile for the snapshot encoding (0 when
+// the histogram is empty, keeping the JSON shape fixed).
+func (h HistSnap) quantileOrZero(q float64) float64 {
+	v, ok := h.Quantile(q)
+	if !ok {
+		return 0
+	}
+	return v
+}
+
 // Snapshot is a deterministic point-in-time copy of a registry.
 type Snapshot struct {
 	Counters   []MetricSnap `json:"counters,omitempty"`
@@ -153,7 +199,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	section := func(title string, items []MetricSnap, comma bool) {
 		fmt.Fprintf(&b, "  %q: [\n", title)
 		for i, m := range items {
-			fmt.Fprintf(&b, "    {\"name\": %q, \"value\": %s}", m.Name, num(m.Value))
+			fmt.Fprintf(&b, "    {\"name\": %s, \"value\": %s}", JSONString(m.Name), num(m.Value))
 			if i < len(items)-1 {
 				b.WriteString(",")
 			}
@@ -169,7 +215,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	section("gauges", s.Gauges, true)
 	fmt.Fprintf(&b, "  %q: [\n", "histograms")
 	for i, h := range s.Histograms {
-		fmt.Fprintf(&b, "    {\"name\": %q, \"bounds\": [", h.Name)
+		fmt.Fprintf(&b, "    {\"name\": %s, \"bounds\": [", JSONString(h.Name))
 		for j, bound := range h.Bounds {
 			if j > 0 {
 				b.WriteString(", ")
@@ -183,7 +229,9 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 			}
 			b.WriteString(strconv.FormatUint(c, 10))
 		}
-		fmt.Fprintf(&b, "], \"count\": %d, \"sum\": %s}", h.Count, num(h.Sum))
+		fmt.Fprintf(&b, "], \"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}",
+			h.Count, num(h.Sum),
+			num(h.quantileOrZero(0.50)), num(h.quantileOrZero(0.95)), num(h.quantileOrZero(0.99)))
 		if i < len(s.Histograms)-1 {
 			b.WriteString(",")
 		}

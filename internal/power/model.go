@@ -269,17 +269,24 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 		}
 	}
 	if mt.rec != nil {
+		attrs := []obs.Attr{
+			obs.Int("samples", out.Len()),
+			obs.Int("dropped", dropped),
+			obs.Int("glitched", glitched),
+			obs.Secs("interval", mt.cfg.Interval),
+		}
+		// Mean window power rides along so live-plane consumers can show
+		// watts without re-integrating the trace. Derived purely from the
+		// already-sampled series: determinism is untouched.
+		if mean, err := out.MeanPower(); err == nil {
+			attrs = append(attrs, obs.F64("mean_watts", float64(mean)))
+		}
 		mt.rec.Span(obs.Span{
-			Track: "meter",
-			Name:  "window",
+			Track: obs.TrackMeter,
+			Name:  obs.NameMeterWindow,
 			Start: mt.origin + start,
 			End:   mt.origin + end,
-			Attrs: []obs.Attr{
-				obs.Int("samples", out.Len()),
-				obs.Int("dropped", dropped),
-				obs.Int("glitched", glitched),
-				obs.Secs("interval", mt.cfg.Interval),
-			},
+			Attrs: attrs,
 		})
 		mt.rec.Count("meter.windows", 1)
 		mt.rec.Count("meter.samples", float64(out.Len()))

@@ -26,6 +26,17 @@ type RunRow struct {
 	OutliersRejected int
 }
 
+// PercentileRow summarises one benchmark's attempt-duration histogram:
+// estimated p50/p95/p99 virtual seconds across every attempt (including
+// retried and failed ones) the campaign ran for that benchmark.
+type PercentileRow struct {
+	Bench string
+	Count uint64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
 // KV is one line of a report's summary block.
 type KV struct {
 	Key   string
@@ -34,11 +45,16 @@ type KV struct {
 
 // RunReport is the human-readable breakdown of a campaign: one row per
 // (run, benchmark) showing where the time and energy behind the TGI
-// number went, plus a totals block.
+// number went, optional per-benchmark attempt-latency percentiles, plus
+// a totals block.
 type RunReport struct {
-	Title   string
-	Rows    []RunRow
-	Summary []KV
+	Title       string
+	Rows        []RunRow
+	Percentiles []PercentileRow
+	// PercentileTitle overrides the percentile table's caption; empty
+	// means the suite default, "attempt seconds (virtual)".
+	PercentileTitle string
+	Summary         []KV
 }
 
 // fnum renders a float compactly (no trailing zeros, full precision).
@@ -80,6 +96,31 @@ func (r *RunReport) Render(w io.Writer) error {
 	}
 	if err := t.Render(w); err != nil {
 		return err
+	}
+	if len(r.Percentiles) > 0 {
+		title := r.PercentileTitle
+		if title == "" {
+			title = "attempt seconds (virtual)"
+		}
+		pt := Table{
+			Title:   title,
+			Headers: []string{"series", "count", "p50_s", "p95_s", "p99_s"},
+		}
+		for _, row := range r.Percentiles {
+			pt.AddRow(
+				row.Bench,
+				strconv.FormatUint(row.Count, 10),
+				fnum(row.P50),
+				fnum(row.P95),
+				fnum(row.P99),
+			)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := pt.Render(w); err != nil {
+			return err
+		}
 	}
 	if len(r.Summary) == 0 {
 		return nil

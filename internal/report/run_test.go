@@ -53,6 +53,37 @@ func TestRunReportRender(t *testing.T) {
 	}
 }
 
+func TestRunReportRenderPercentiles(t *testing.T) {
+	r := sampleReport()
+	r.Percentiles = []PercentileRow{
+		{Bench: "HPL", Count: 3, P50: 510, P95: 540, P99: 544},
+		{Bench: "STREAM", Count: 2, P50: 400, P95: 430, P99: 433},
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"attempt seconds (virtual)", "series", "p50_s", "p95_s", "p99_s",
+		"510", "544", "430",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("percentile table missing %q:\n%s", want, out)
+		}
+	}
+	// A custom caption replaces the suite default.
+	r.PercentileTitle = "meter window seconds (virtual)"
+	sb.Reset()
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "meter window seconds (virtual)") ||
+		strings.Contains(sb.String(), "attempt seconds") {
+		t.Errorf("custom percentile caption not honoured:\n%s", sb.String())
+	}
+}
+
 func TestRunReportRenderNoSummary(t *testing.T) {
 	r := sampleReport()
 	r.Summary = nil

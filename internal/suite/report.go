@@ -2,7 +2,9 @@ package suite
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -63,4 +65,35 @@ func BuildReport(title string, results []*Result) *report.RunReport {
 			gaps, outliers)},
 	}
 	return r
+}
+
+// attemptSecondsPrefix names the per-benchmark attempt-duration
+// histograms the suite runner observes; the suffix is the benchmark name.
+const attemptSecondsPrefix = "suite.attempt_seconds."
+
+// AttachPercentiles adds per-benchmark p50/p95/p99 attempt-duration rows
+// to the report from a campaign metrics snapshot. The estimates come from
+// the "suite.attempt_seconds.<bench>" histograms the runner observes on
+// every attempt (retried and failed ones included). Snapshots without
+// those histograms (e.g. an untraced run) leave the report unchanged.
+func AttachPercentiles(r *report.RunReport, snap obs.Snapshot) {
+	for _, h := range snap.Histograms {
+		bench, ok := strings.CutPrefix(h.Name, attemptSecondsPrefix)
+		if !ok || bench == "" {
+			continue
+		}
+		p50, ok := h.Quantile(0.50)
+		if !ok {
+			continue
+		}
+		p95, _ := h.Quantile(0.95)
+		p99, _ := h.Quantile(0.99)
+		r.Percentiles = append(r.Percentiles, report.PercentileRow{
+			Bench: bench,
+			Count: h.Count,
+			P50:   p50,
+			P95:   p95,
+			P99:   p99,
+		})
+	}
 }

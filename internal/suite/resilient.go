@@ -180,7 +180,7 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 	res.TraceEnd = clock
 	if rec != nil {
 		rec.Span(obs.Span{
-			Track: "suite",
+			Track: obs.TrackSuite,
 			Name:  fmt.Sprintf("run p=%d", cfg.Procs),
 			Start: cfg.TraceAt,
 			End:   clock,
@@ -232,13 +232,16 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 			}, extra...)
 			rec.Span(obs.Span{
 				Track: st.name,
-				Name:  fmt.Sprintf("attempt %d", attempt+1),
+				Name:  fmt.Sprintf("%s%d", obs.AttemptPrefix, attempt+1),
 				Start: *clock,
 				End:   *clock + elapsed,
 				Attrs: attrs,
 			})
 			rec.Count("suite.attempts", 1)
 			rec.Observe("suite.attempt_seconds", float64(elapsed))
+			// Per-benchmark histogram: the run report surfaces its
+			// p50/p95/p99 per benchmark row.
+			rec.Observe("suite.attempt_seconds."+st.name, float64(elapsed))
 		}
 		*clock += elapsed
 	}
@@ -249,7 +252,7 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 			if rec != nil {
 				rec.Span(obs.Span{
 					Track: st.name,
-					Name:  "backoff",
+					Name:  obs.NameBackoff,
 					Start: *clock,
 					End:   *clock + delay,
 					Attrs: []obs.Attr{obs.Int("before_attempt", attempt+1)},
@@ -342,8 +345,8 @@ func measureStep(cfg *Config, model *power.Model, meter *power.Meter,
 		if rec := cfg.Trace; rec != nil {
 			for _, g := range rep.Gaps {
 				rec.Event(obs.Event{
-					Track: "meter",
-					Name:  "repair: gap filled",
+					Track: obs.TrackMeter,
+					Name:  obs.EventGapFilled,
 					At:    origin + g.From,
 					Attrs: []obs.Attr{
 						obs.Str("bench", st.name),
@@ -355,8 +358,8 @@ func measureStep(cfg *Config, model *power.Model, meter *power.Meter,
 			}
 			for _, at := range rep.OutlierTimes {
 				rec.Event(obs.Event{
-					Track: "meter",
-					Name:  "repair: outlier rejected",
+					Track: obs.TrackMeter,
+					Name:  obs.EventOutlier,
 					At:    origin + at,
 					Attrs: []obs.Attr{obs.Str("bench", st.name)},
 				})

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/units"
 )
 
@@ -50,6 +51,11 @@ type SweepPlan struct {
 	// metrics — laid out end to end on the virtual-time axis exactly as a
 	// sequential sweep records them.
 	Trace *obs.Tracer
+	// Live, when non-nil, receives wall-clock telemetry: cell lifecycle
+	// events plus a mirror of each cell's record stream (via live.Hub.Tap).
+	// The live plane is strictly read-only over the virtual plane —
+	// attaching a hub cannot change results, trace or metrics by a byte.
+	Live *live.Hub
 	// Configure builds the Config for one cell. It must be safe for
 	// concurrent calls when Workers > 1. The scheduler owns the returned
 	// config's Trace and TraceAt fields.
@@ -67,10 +73,43 @@ func RunSweepPlan(plan SweepPlan) ([]*Result, error) {
 	if plan.Configure == nil {
 		return nil, errors.New("suite: sweep plan has no Configure")
 	}
+	workers := plan.Workers
+	if workers < 1 || len(plan.Axis) <= 1 {
+		workers = 1
+	}
+	plan.Live.SweepStarted(len(plan.Axis), workers)
+	defer plan.Live.SweepFinished()
 	if plan.Workers > 1 && len(plan.Axis) > 1 {
 		return runSweepParallel(plan)
 	}
 	return runSweepSequential(plan)
+}
+
+// runCell executes one configured cell under the plan's live hub: the
+// hub sees the cell start, the mirrored record stream (through the tap
+// installed as cfg.Trace), and the completion or failure. With a nil hub
+// this is exactly Run(cfg).
+func runCell(plan SweepPlan, cfg Config, procs int) (*Result, error) {
+	if plan.Live != nil {
+		cfg.Trace = plan.Live.Tap(cfg.Trace, procs)
+	}
+	tok := plan.Live.CellStarted(procs)
+	r, err := Run(cfg)
+	if err != nil {
+		plan.Live.CellFailed(tok, err)
+		return nil, err
+	}
+	plan.Live.CellFinished(tok, resultRetries(r), r.Degraded)
+	return r, nil
+}
+
+// resultRetries totals the re-run attempts across a result's benchmarks.
+func resultRetries(r *Result) int {
+	n := 0
+	for _, b := range r.Runs {
+		n += b.Retries
+	}
+	return n
 }
 
 func runSweepSequential(plan SweepPlan) ([]*Result, error) {
@@ -86,7 +125,7 @@ func runSweepSequential(plan SweepPlan) ([]*Result, error) {
 			cfg.Trace = ctx.Rec
 			cfg.TraceAt = ctx.Origin
 		}
-		r, err := Run(cfg)
+		r, err := runCell(plan, cfg, p)
 		if err != nil {
 			return nil, fmt.Errorf("suite: p=%d: %w", p, err)
 		}
@@ -125,7 +164,7 @@ func runSweepParallel(plan SweepPlan) ([]*Result, error) {
 				cfg.Trace = rec
 				cfg.TraceAt = 0
 			}
-			r, err := Run(cfg)
+			r, err := runCell(plan, cfg, p)
 			if err != nil {
 				cells[i].err = fmt.Errorf("suite: p=%d: %w", p, err)
 				return
