@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fmt-check check bench
+.PHONY: build vet test race fmt-check lint check bench
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,15 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+	$(GO) run ./cmd/greenvet ./...
 
-check: build vet test race fmt-check
+# Determinism & layering analyzer suite (stdlib-only). Findings are
+# `file:line: analyzer: message`; exceptions need a
+# `//greenvet:allow <analyzer> -- <reason>` comment.
+lint:
+	$(GO) run ./cmd/greenvet ./...
+
+check: build vet lint test race fmt-check
 
 # Benchmark the hot paths (engine dispatch, trace repair, suite sweep)
 # and keep the machine-readable trajectory in BENCH_obs.json; then run

@@ -1,0 +1,135 @@
+// Command greenvet runs the module's determinism & layering analyzer
+// suite (internal/analysis) over the source tree — the machine check
+// behind every byte-identical-artifact guarantee this reproduction
+// makes.
+//
+// Usage:
+//
+//	greenvet ./...                      # analyze the whole module
+//	greenvet ./internal/sim ./cmd/...   # analyze selected packages
+//	greenvet -list                      # print analyzers and the rule table
+//
+// Findings print as `file:line: analyzer: message` and make the exit
+// status nonzero, so `make lint` and CI fail on drift. Justified
+// exceptions carry a `//greenvet:allow <analyzer> -- <reason>` comment
+// on or directly above the flagged line. The same suite runs inside
+// `go test ./internal/analysis`, so there is no CI-only enforcement gap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzer registry and per-package rule config, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: greenvet [-list] [packages]\n\n"+
+			"Packages are ./-relative patterns (default ./...). Flags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := analysis.DefaultConfig()
+	if *list {
+		printList(os.Stdout, cfg)
+		return
+	}
+	findings, err := run(cfg, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "greenvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// run loads the enclosing module and analyzes the packages matched by
+// the ./-relative argument patterns (everything when none are given).
+func run(cfg analysis.Config, args []string) ([]analysis.Finding, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := resolvePatterns(mod, args)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(mod, cfg, paths)
+}
+
+// resolvePatterns maps go-tool-style package patterns (./..., ./cmd/...,
+// ./internal/sim) to loaded import paths. nil means "all packages".
+func resolvePatterns(mod *analysis.Module, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	var paths []string
+	for _, arg := range args {
+		pat := filepath.ToSlash(arg)
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "..." || pat == ".":
+			return nil, nil
+		default:
+			if !strings.HasPrefix(pat, mod.Path) {
+				pat = mod.Path + "/" + pat
+			}
+			n := 0
+			for _, p := range mod.PackagePaths() {
+				if matched(pat, p) {
+					paths = append(paths, p)
+					n++
+				}
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("pattern %q matches no packages", arg)
+			}
+		}
+	}
+	return paths, nil
+}
+
+func matched(pattern, path string) bool {
+	if base, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == base || strings.HasPrefix(path, base+"/")
+	}
+	return pattern == path
+}
+
+// printList mirrors `greenbench -list`: first the analyzer registry,
+// then the package → rule-set table, so the tool is self-describing.
+func printList(w io.Writer, cfg analysis.Config) {
+	fmt.Fprintln(w, "Analyzers:")
+	for _, a := range analysis.Registry() {
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(w, "\nPackage rules (first match wins):")
+	for _, r := range cfg.Packages {
+		fmt.Fprintf(w, "  %-28s %s\n", r.Match, strings.Join(r.Analyzers, ","))
+		if len(r.ForbidImports) > 0 {
+			fmt.Fprintf(w, "  %-28s   forbid: %s\n", "", strings.Join(r.ForbidImports, ", "))
+		}
+	}
+	fmt.Fprintf(w, "\nSuppression: `%s <analyzer> -- <reason>` on or above the flagged line.\n",
+		analysis.AllowPrefix)
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var testMod = sync.OnceValues(func() (*analysis.Module, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.LoadModule(root)
+})
+
+// TestRunCleanTree mirrors `go run ./cmd/greenvet ./...`: the committed
+// tree must produce zero findings under the default rule table.
+func TestRunCleanTree(t *testing.T) {
+	findings, err := run(analysis.DefaultConfig(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestResolvePatterns(t *testing.T) {
+	mod, err := testMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if paths, err := resolvePatterns(mod, nil); err != nil || paths != nil {
+		t.Errorf("no args must mean all packages, got %v, %v", paths, err)
+	}
+	if paths, err := resolvePatterns(mod, []string{"./..."}); err != nil || paths != nil {
+		t.Errorf("./... must mean all packages, got %v, %v", paths, err)
+	}
+
+	paths, err := resolvePatterns(mod, []string{"./internal/sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "repro/internal/sim" {
+		t.Errorf("./internal/sim resolved to %v", paths)
+	}
+
+	paths, err = resolvePatterns(mod, []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 || !containsString(paths, "repro/internal/sim") {
+		t.Errorf("./internal/... resolved to %v", paths)
+	}
+
+	if _, err := resolvePatterns(mod, []string{"./does/not/exist"}); err == nil {
+		t.Error("pattern matching no packages must error")
+	}
+}
+
+func TestPrintList(t *testing.T) {
+	var buf bytes.Buffer
+	printList(&buf, analysis.DefaultConfig())
+	out := buf.String()
+	for _, a := range analysis.Registry() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output is missing analyzer %q", a.Name)
+		}
+	}
+	for _, want := range []string{"Package rules", "forbid:", "repro/internal/sim", analysis.AllowPrefix} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output is missing %q", want)
+		}
+	}
+}
+
+func TestMatched(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"repro/internal/sim", "repro/internal/sim", true},
+		{"repro/internal/...", "repro/internal/sim", true},
+		{"repro/internal/...", "repro/internals", false},
+		{"repro/cmd", "repro/cmd/greenvet", false},
+	}
+	for _, tc := range cases {
+		if got := matched(tc.pattern, tc.path); got != tc.want {
+			t.Errorf("matched(%q, %q) = %v, want %v", tc.pattern, tc.path, got, tc.want)
+		}
+	}
+}
+
+func containsString(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AllowPrefix starts every suppression comment. The full form is
+//
+//	//greenvet:allow <analyzer> -- <reason>
+//
+// placed on the offending line or the line immediately above it. The
+// reason is mandatory: a suppression without a recorded justification is
+// itself reported as a finding.
+const AllowPrefix = "//greenvet:allow"
+
+var allowRe = regexp.MustCompile(`^//greenvet:allow ([a-z]+) -- \S`)
+
+// allowKey identifies one (file, line, analyzer) suppression site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+// collectAllows scans every comment in the package for suppression
+// directives. Well-formed directives enter the returned set; malformed
+// ones (missing analyzer, missing `-- reason`, unknown analyzer name)
+// are appended to findings so typos fail loudly instead of silently
+// disabling a rule.
+func collectAllows(fset *token.FileSet, files []*ast.File, findings *[]Finding) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					*findings = append(*findings, Finding{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  "malformed suppression: want `//greenvet:allow <analyzer> -- <reason>`",
+					})
+					continue
+				}
+				name := m[1]
+				if ByName(name) == nil {
+					*findings = append(*findings, Finding{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  "suppression names unknown analyzer " + name,
+					})
+					continue
+				}
+				set[allowKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether the finding is covered by an allow
+// directive on its own line or the line directly above it.
+func (s allowSet) suppresses(f Finding) bool {
+	return s[allowKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
+		s[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+}

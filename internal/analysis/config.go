@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rules is the rule set one package must obey.
+type Rules struct {
+	// Match selects packages by import path: either an exact path or a
+	// `prefix/...` pattern covering the prefix and everything below it.
+	Match string
+	// Analyzers names the checks to run, in run order.
+	Analyzers []string
+	// ForbidImports lists import paths (exact or `prefix/...`) the
+	// layering analyzer rejects for matched packages.
+	ForbidImports []string
+}
+
+// Config maps packages to rule sets. The first entry whose Match covers
+// a package's import path wins, so specific entries go before wildcards.
+type Config struct {
+	Packages []Rules
+}
+
+// matchPath reports whether pattern covers path.
+func matchPath(pattern, path string) bool {
+	if base, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == base || strings.HasPrefix(path, base+"/")
+	}
+	return pattern == path
+}
+
+// RulesFor returns the rule set for the package with that import path.
+func (c Config) RulesFor(path string) (Rules, bool) {
+	for _, r := range c.Packages {
+		if matchPath(r.Match, path) {
+			return r, true
+		}
+	}
+	return Rules{}, false
+}
+
+// Validate rejects configs that reference unknown analyzers, repeat a
+// match pattern, or attach import bans to a rule set that never runs the
+// layering analyzer (a silent no-op otherwise).
+func (c Config) Validate() error {
+	seen := map[string]bool{}
+	for _, r := range c.Packages {
+		if r.Match == "" {
+			return fmt.Errorf("analysis: config entry with empty Match")
+		}
+		if seen[r.Match] {
+			return fmt.Errorf("analysis: duplicate config entry for %q", r.Match)
+		}
+		seen[r.Match] = true
+		hasLayering := false
+		for _, name := range r.Analyzers {
+			if ByName(name) == nil {
+				return fmt.Errorf("analysis: %q: unknown analyzer %q (known: %s)",
+					r.Match, name, strings.Join(analyzerNames(), ", "))
+			}
+			if name == Layering.Name {
+				hasLayering = true
+			}
+		}
+		if len(r.ForbidImports) > 0 && !hasLayering {
+			return fmt.Errorf("analysis: %q forbids imports but does not run the layering analyzer", r.Match)
+		}
+	}
+	return nil
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range Registry() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Deterministic packages: every byte of their output must be a pure
+// function of configuration and seed. They get the full rule set and may
+// not import the wall-clock live plane, net/http, or any cmd.
+var deterministicPkgs = []string{
+	"repro/internal/sim",
+	"repro/internal/suite",
+	"repro/internal/bench",
+	"repro/internal/core",
+	"repro/internal/mpirt",
+	"repro/internal/power",
+	"repro/internal/series",
+}
+
+// DefaultConfig is the module's own rule table, the one cmd/greenvet and
+// the selfcheck test enforce.
+//
+//   - Deterministic packages (sim, suite, bench, core, mpirt, power,
+//     series) and the root package obey every analyzer and must not
+//     import internal/obs/live or net/http.
+//   - internal/obs/live, cmd/* and examples/* legitimately touch the
+//     wall clock, so detclock is off there (as it is in _test.go files,
+//     which the loader never parses).
+//   - internal/stats and internal/units host the approved tolerance
+//     helpers, so floateq is off inside them.
+//   - No internal package may import a cmd.
+func DefaultConfig() Config {
+	all := analyzerNames()
+	noClock := []string{"detrand", "maporder", "floateq", "layering"}
+	noFloat := []string{"detclock", "detrand", "maporder", "layering"}
+	detForbid := []string{"repro/internal/obs/live", "net/http", "repro/cmd/..."}
+	internalForbid := []string{"repro/cmd/..."}
+
+	pkgs := []Rules{
+		{Match: "repro/internal/obs/live", Analyzers: noClock, ForbidImports: internalForbid},
+		{Match: "repro/internal/stats", Analyzers: noFloat, ForbidImports: internalForbid},
+		{Match: "repro/internal/units", Analyzers: noFloat, ForbidImports: internalForbid},
+	}
+	for _, p := range deterministicPkgs {
+		pkgs = append(pkgs, Rules{Match: p, Analyzers: all, ForbidImports: detForbid})
+	}
+	pkgs = append(pkgs,
+		Rules{Match: "repro/internal/...", Analyzers: all, ForbidImports: internalForbid},
+		Rules{Match: "repro/cmd/...", Analyzers: noClock},
+		Rules{Match: "repro/examples/...", Analyzers: noClock},
+		Rules{Match: "repro", Analyzers: all, ForbidImports: detForbid},
+	)
+	return Config{Packages: pkgs}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are package time functions that read or wait on the
+// wall clock. Pure construction/conversion helpers (time.Duration
+// arithmetic, time.Unix, time.Date) are deterministic and stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// DetClock rejects wall-clock reads in deterministic packages. Every
+// artifact byte must be a pure function of configuration and seed;
+// durations come from the virtual clock (internal/sim), never the host.
+// The wall clock belongs to internal/obs/live, cmd/*, examples/* and
+// _test.go files — packages this analyzer is simply not configured for.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc:  "wall-clock reads (time.Now/Since/Sleep/After/...) outside the wall-clock allowlist",
+	Run:  runDetClock,
+}
+
+func runDetClock(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := usesPackageFunc(p, file, sel)
+			if !ok || pkg != "time" || !wallClockFuncs[name] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"use of time.%s: deterministic code must take durations from the virtual clock (internal/sim), not the wall clock", name)
+			return true
+		})
+	}
+}

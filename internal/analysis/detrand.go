@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// randConstructors are math/rand top-level names that build a local,
+// explicitly seeded generator rather than drawing from the global
+// source. They stay legal; everything else at package level is a draw
+// from (or a mutation of) process-global state and is rejected.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// DetRand rejects the global math/rand source in deterministic
+// packages. Global draws interleave across goroutines and call sites,
+// so results stop being a pure function of the experiment seed; all
+// randomness must come from internal/sim's splitmix64 RNG (NewRNG,
+// Fork) or an explicitly seeded local generator.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "global math/rand draws in deterministic packages (use internal/sim's seeded RNG)",
+	Run:  runDetRand,
+}
+
+func runDetRand(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := usesPackageFunc(p, file, sel)
+			if !ok {
+				return true
+			}
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if randConstructors[name] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"global math/rand draw rand.%s: deterministic code must use internal/sim's seeded RNG", name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadMod loads the enclosing module once for the whole test binary —
+// fixtures and the selfcheck share the parse/type-check work.
+var loadMod = sync.OnceValues(func() (*analysis.Module, error) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return analysis.LoadModule(root)
+})
+
+// wantRe pulls the quoted expectation regexes out of a `// want "…"`
+// comment; several quoted patterns on one line mean several findings.
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var quoteRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants maps fixture line numbers to expected-finding regexes.
+func parseWants(t *testing.T, path string) map[int][]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int][]string{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range quoteRe.FindAllStringSubmatch(m[1], -1) {
+			wants[i+1] = append(wants[i+1], q[1])
+		}
+	}
+	return wants
+}
+
+// runFixture checks one testdata package against its rule set: every
+// `// want` expectation must be produced, and every produced finding
+// must be expected — positive and negative cases in one pass.
+func runFixture(t *testing.T, name string, rules analysis.Rules) {
+	t.Helper()
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := mod.CheckDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture must type-check cleanly: %v", terr)
+	}
+	findings := analysis.RunPackage(mod.Fset, pkg, rules)
+
+	wants := map[string][]string{} // "file:line" -> pending regexes
+	file := filepath.Join(dir, name+".go")
+	for line, res := range parseWants(t, file) {
+		wants[fmt.Sprintf("%s:%d", file, line)] = res
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		got := f.Analyzer + ": " + f.Message
+		matched := false
+		pending := wants[key]
+		for i, pat := range pending {
+			if regexp.MustCompile(pat).MatchString(got) {
+				wants[key] = append(pending[:i], pending[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s", key, got)
+		}
+	}
+	for key, pending := range wants {
+		for _, pat := range pending {
+			t.Errorf("missing finding at %s matching %q", key, pat)
+		}
+	}
+}
+
+func TestDetClockFixture(t *testing.T) {
+	runFixture(t, "detclock", analysis.Rules{Match: "fixture/detclock", Analyzers: []string{"detclock"}})
+}
+
+func TestDetRandFixture(t *testing.T) {
+	runFixture(t, "detrand", analysis.Rules{Match: "fixture/detrand", Analyzers: []string{"detrand"}})
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, "maporder", analysis.Rules{Match: "fixture/maporder", Analyzers: []string{"maporder"}})
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	runFixture(t, "floateq", analysis.Rules{Match: "fixture/floateq", Analyzers: []string{"floateq"}})
+}
+
+func TestLayeringFixture(t *testing.T) {
+	runFixture(t, "layering", analysis.Rules{
+		Match:         "fixture/layering",
+		Analyzers:     []string{"layering"},
+		ForbidImports: []string{"repro/internal/obs/live", "net/http", "repro/cmd/..."},
+	})
+}
+
+func TestAllowFixture(t *testing.T) {
+	// Malformed/misspelled suppressions are findings even with no
+	// analyzers configured: a typo must not silently disable a rule.
+	runFixture(t, "allow", analysis.Rules{Match: "fixture/allow", Analyzers: []string{"detclock"}})
+}
+
+// TestInjectedViolation pins the failure mode end to end: a fresh file
+// with a wall-clock read, checked under the deterministic rule set,
+// must produce a file:line-addressed detclock finding.
+func TestInjectedViolation(t *testing.T) {
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := "package probe\n\nimport \"time\"\n\nfunc now() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "probe.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := mod.CheckDir(dir, "fixture/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, ok := analysis.DefaultConfig().RulesFor("repro/internal/sim")
+	if !ok {
+		t.Fatal("no rules for repro/internal/sim")
+	}
+	rules.Match = "fixture/probe"
+	findings := analysis.RunPackage(mod.Fset, pkg, rules)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "detclock" || f.Pos.Line != 5 || !strings.Contains(f.Pos.Filename, "probe.go") {
+		t.Fatalf("finding not addressed to probe.go:5 detclock: %s", f)
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq rejects `==` and `!=` between two computed floating-point
+// operands. Simulated performance and power figures accumulate rounding
+// error, so exact equality silently flips with evaluation order;
+// comparisons belong in the approved tolerance helpers (internal/stats,
+// e.g. stats.ApproxEqual, where this analyzer is not configured) or
+// must carry an allow comment naming the exact-identity semantics
+// relied on (duplicate-timestamp detection, pivot tie-breaks).
+//
+// Comparisons where either operand is a compile-time constant are
+// sentinel checks (`if watts == 0 { watts = defaultWatts }`), not
+// tolerance tests: the constant is exactly representable and the idiom
+// asks "was this field ever set", so they are deliberately not flagged.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= between floats outside the tolerance helpers in internal/stats and internal/units",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if (isFloat(p, be.X) || isFloat(p, be.Y)) && !isConstExpr(p, be.X) && !isConstExpr(p, be.Y) {
+				p.Reportf(be.OpPos,
+					"exact %s between floats: use a tolerance helper (internal/stats) or record the exact-identity intent with `%s floateq -- <reason>`",
+					be.Op, AllowPrefix)
+			}
+			return true
+		})
+	}
+}
+
+func isConstExpr(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+func isFloat(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

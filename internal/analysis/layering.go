@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Layering enforces the import DAG the two-plane architecture depends
+// on: deterministic packages (sim, suite, bench, core, mpirt, power,
+// series, and the root API) must not import the wall-clock live plane
+// (internal/obs/live) or net/http, and no internal package may import a
+// cmd. Which imports are banned for which package comes from the
+// Config entry's ForbidImports list, so the rule table stays in one
+// place (config.go).
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "import-DAG violations (deterministic plane importing obs/live or net/http, internal importing cmd)",
+	Run:  runLayering,
+}
+
+func runLayering(p *Pass) {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, pat := range p.Rules.ForbidImports {
+				if matchPath(pat, path) {
+					p.Reportf(imp.Pos(),
+						"import %q is forbidden in %s by the layering rules (pattern %q)", path, p.Path, pat)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is the analyzed module: every package parsed and type-checked,
+// using only the standard library (go/parser, go/types, go/importer) so
+// the module itself stays zero-dependency.
+type Module struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset owns all source positions.
+	Fset *token.FileSet
+
+	pkgs     map[string]*Package
+	checking map[string]bool
+	imp      *chainImporter
+}
+
+// Package is one parsed, type-checked package. Test files are excluded:
+// greenvet's invariants guard the artifact-producing plane, and the
+// detclock allowlist exempts _test.go by construction.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints; analysis proceeds on
+	// partial information, falling back to syntax where types are missing.
+	TypeErrors []error
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule discovers, parses and type-checks every package under root.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:     root,
+		Path:     modPath,
+		Fset:     token.NewFileSet(),
+		pkgs:     map[string]*Package{},
+		checking: map[string]bool{},
+	}
+	m.imp = newChainImporter(m)
+	dirs, err := m.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		path := m.importPath(dir)
+		if _, err := m.parseDir(dir, path); err != nil {
+			return nil, err
+		}
+	}
+	for _, path := range m.PackagePaths() {
+		if _, err := m.check(path); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// PackagePaths returns the module's package import paths, sorted.
+func (m *Module) PackagePaths() []string {
+	paths := make([]string, 0, len(m.pkgs))
+	for p := range m.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Package returns the loaded package with that import path, or nil.
+func (m *Module) Package(path string) *Package { return m.pkgs[path] }
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// packageDirs walks the module tree for directories holding non-test Go
+// files, skipping testdata, vendor and hidden directories.
+func (m *Module) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// goFileNames lists dir's non-test Go files, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses dir's non-test files into a registered Package.
+func (m *Module) parseDir(dir, path string) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// check type-checks the registered package at path (and, through the
+// importer, its module-internal dependencies first).
+func (m *Module) check(path string) (*Package, error) {
+	pkg, ok := m.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown package %q", path)
+	}
+	if pkg.Types != nil {
+		return pkg, nil
+	}
+	if m.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	m.checking[path] = true
+	defer delete(m.checking, path)
+
+	info := newInfo()
+	conf := types.Config{
+		Importer: m.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, m.Fset, pkg.Files, info) // errors land in TypeErrors
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// CheckDir parses and type-checks a directory outside the module tree
+// (fixture testdata) under the given import path, resolving imports
+// through the module. The package is not registered with the module.
+func (m *Module) CheckDir(dir, path string) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: m.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, m.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// chainImporter resolves module-internal imports by type-checking them
+// in place, and everything else through the toolchain's export data with
+// a from-source fallback — stdlib only, no golang.org/x/tools.
+type chainImporter struct {
+	m      *Module
+	gc     types.Importer
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func newChainImporter(m *Module) *chainImporter {
+	return &chainImporter{
+		m:      m,
+		gc:     importer.ForCompiler(m.Fset, "gc", nil),
+		source: importer.ForCompiler(m.Fset, "source", nil),
+		cache:  map[string]*types.Package{},
+	}
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ci.m.Path || strings.HasPrefix(path, ci.m.Path+"/") {
+		pkg, err := ci.m.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, ok := ci.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := ci.gc.Import(path)
+	if err != nil {
+		pkg, err = ci.source.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ci.cache[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder rejects `range` over a map whose body leaks iteration order
+// into something ordered: appending to a slice, writing to an
+// io.Writer, or emitting observability records. Go randomizes map
+// iteration order per run, so any of these smuggles nondeterminism into
+// artifacts that must be byte-identical across runs and -workers
+// counts. The canonical collect-keys-then-sort pattern stays legal: a
+// loop whose only effect is appending to a slice that is sorted later
+// in the same function is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order leaking into slices, writers or obs records",
+	Run:  runMapOrder,
+}
+
+// writeMethods are method names that, on an io.Writer implementation,
+// produce ordered output.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// obsEmitMethods are the record-emitting methods of the observability
+// planes (internal/obs and internal/obs/live).
+var obsEmitMethods = map[string]bool{
+	"Span": true, "Event": true, "Count": true, "Gauge": true,
+	"Observe": true, "Publish": true,
+}
+
+// writerIface is io.Writer, synthesized so the analyzer needs no import
+// resolution to recognize writers structurally.
+var writerIface = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges inspects one function body: for every range over a map
+// it classifies the loop body's order-sensitive effects and reports the
+// loop unless the only effect is the sorted-keys idiom.
+func checkMapRanges(p *Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p, rs.X) {
+			return true
+		}
+		var sortable []string // append-target keys that may be sorted later
+		var reason string
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			if reason != "" {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch why := classifyEffect(p, call); why {
+			case effectNone:
+			case effectAppend:
+				if freshInLoop(p, call.Args[0], rs.Body) {
+					// Appending to a slice born this iteration (a copy
+					// such as append([]T(nil), xs...)) cannot accumulate
+					// order across iterations.
+					break
+				}
+				if tgt := appendTarget(p, call); tgt != "" {
+					sortable = append(sortable, tgt)
+				} else {
+					reason = "appends to a slice"
+				}
+			case effectWrite:
+				reason = "writes to an io.Writer"
+			case effectObs:
+				reason = "emits obs records"
+			}
+			return true
+		})
+		if reason == "" {
+			for _, tgt := range sortable {
+				if !sortedAfter(p, fnBody, tgt, rs.End()) {
+					reason = "appends to a slice"
+					break
+				}
+			}
+		}
+		if reason != "" {
+			p.Reportf(rs.For,
+				"map iteration order %s: sort the keys first or add `%s maporder -- <reason>`", reason, AllowPrefix)
+		}
+		return true
+	})
+}
+
+func isMapType(p *Pass, expr ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+type effect int
+
+const (
+	effectNone effect = iota
+	effectAppend
+	effectWrite
+	effectObs
+)
+
+// classifyEffect decides whether one call inside a map-range body leaks
+// iteration order.
+func classifyEffect(p *Pass, call *ast.CallExpr) effect {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "append" && isBuiltin(p, fun) {
+			return effectAppend
+		}
+	case *ast.SelectorExpr:
+		// fmt.Fprint* — ordered output through the writer argument.
+		if pkg, name, ok := usesPackageFunc(p, enclosingFile(p, call.Pos()), fun); ok {
+			if pkg == "fmt" && strings.HasPrefix(name, "Fprint") {
+				return effectWrite
+			}
+			return effectNone // other package-level call
+		}
+		// Method calls: io.Writer writes and obs record emission.
+		if p.Info == nil {
+			return effectNone
+		}
+		if selInfo, ok := p.Info.Selections[fun]; ok {
+			name := fun.Sel.Name
+			if writeMethods[name] && implementsWriter(selInfo.Recv()) {
+				return effectWrite
+			}
+			if obsEmitMethods[name] {
+				if fn, ok := selInfo.Obj().(*types.Func); ok && fn.Pkg() != nil &&
+					strings.Contains(fn.Pkg().Path(), "internal/obs") {
+					return effectObs
+				}
+			}
+		}
+	}
+	return effectNone
+}
+
+func isBuiltin(p *Pass, id *ast.Ident) bool {
+	if p.Info == nil {
+		return true // syntactic benefit of the doubt
+	}
+	obj, ok := p.Info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, writerIface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), writerIface)
+	}
+	return false
+}
+
+// freshInLoop reports whether the append base is a slice that cannot
+// outlive one loop iteration: a nil/composite literal, a conversion
+// like []float64(nil), or an identifier declared inside the loop body.
+func freshInLoop(p *Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr: // conversion, e.g. []float64(nil)
+		if len(x.Args) == 1 && p.Info != nil {
+			if tv, ok := p.Info.Types[x.Fun]; ok && tv.IsType() {
+				return true
+			}
+		}
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return true
+		}
+		if p.Info != nil {
+			if obj, ok := p.Info.Uses[x]; ok && obj != nil &&
+				obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// appendTarget returns a tracking key for the slice a `x = append(x,
+// ...)` call grows, when the target is an identifier or a field chain
+// rooted in one (`s.Counters`); "" when the target is untrackable.
+func appendTarget(p *Pass, call *ast.CallExpr) string {
+	if p.Info == nil || len(call.Args) == 0 {
+		return ""
+	}
+	return exprKey(p, call.Args[0])
+}
+
+// exprKey canonicalizes an identifier or selector chain to a key stable
+// across occurrences: the root's resolved object plus the field path.
+func exprKey(p *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[x]; ok && obj != nil {
+			return fmt.Sprintf("%p", obj)
+		}
+	case *ast.SelectorExpr:
+		if base := exprKey(p, x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether the keyed slice is passed to a
+// sort.*/slices.Sort* call after pos within the function body — the
+// collect-then-sort idiom.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, key string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := usesPackageFunc(p, enclosingFile(p, call.Pos()), sel)
+		if !ok {
+			return true
+		}
+		isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprKey(p, arg) == key {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFile finds the parsed file containing pos.
+func enclosingFile(p *Pass, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

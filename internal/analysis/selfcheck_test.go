@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSelfCheck is the enforcement gate: it runs greenvet's full rule
+// table over this module, so any determinism or layering drift fails
+// plain `go test ./...` with a file:line-addressed message — the same
+// output `go run ./cmd/greenvet ./...` would print.
+func TestSelfCheck(t *testing.T) {
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(mod, analysis.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSelfCheckCoverage guards the gate itself: every package in the
+// module must be matched by some rule entry, and the loader must
+// actually be seeing the tree (a walk bug that loads two packages would
+// otherwise make TestSelfCheck pass vacuously).
+func TestSelfCheckCoverage(t *testing.T) {
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := analysis.DefaultConfig()
+	paths := mod.PackagePaths()
+	if len(paths) < 20 {
+		t.Errorf("loader found only %d packages; the module has far more — walk is broken", len(paths))
+	}
+	for _, p := range paths {
+		if _, ok := cfg.RulesFor(p); !ok {
+			t.Errorf("no rule entry matches package %s; DefaultConfig must cover the whole module", p)
+		}
+	}
+	for _, mustHave := range []string{"repro/internal/sim", "repro/internal/suite", "repro/internal/obs/live", "repro/cmd/greenvet"} {
+		if mod.Package(mustHave) == nil {
+			t.Errorf("loader did not find %s", mustHave)
+		}
+	}
+	for _, pkgPath := range paths {
+		pkg := mod.Package(pkgPath)
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkgPath, terr)
+		}
+	}
+}

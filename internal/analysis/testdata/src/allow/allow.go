@@ -1,0 +1,23 @@
+// Fixture for suppression-comment hygiene: malformed or misspelled
+// `//greenvet:allow` directives are findings in their own right.
+package allow
+
+import "time"
+
+//greenvet:allow detclock // want "malformed suppression"
+func missingReason() time.Time {
+	return time.Now() // want "use of time.Now"
+}
+
+//greenvet:allow detclok -- typo in the analyzer name // want "unknown analyzer detclok"
+func misspelled() time.Time {
+	return time.Now() // want "use of time.Now"
+}
+
+// A well-formed directive reaches its own line and the next one only;
+// two lines down it no longer suppresses.
+//
+//greenvet:allow detclock -- fixture: reaches only one line down
+func tooFarAbove() time.Time {
+	return time.Now() // want "use of time.Now"
+}

@@ -1,0 +1,35 @@
+// Fixture for the detclock analyzer: wall-clock reads are rejected,
+// deterministic time construction is not, and allow comments suppress.
+package detclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want "use of time.Now"
+	time.Sleep(time.Millisecond)    // want "use of time.Sleep"
+	_ = time.Since(time.Time{})     // want "use of time.Since"
+	<-time.After(time.Second)       // want "use of time.After"
+	_ = time.Tick(time.Second)      // want "use of time.Tick"
+	_ = time.NewTicker(time.Second) // want "use of time.NewTicker"
+}
+
+func badValueUse() func() time.Time {
+	return time.Now // want "use of time.Now"
+}
+
+func okConstruction() time.Duration {
+	// Pure construction and conversion are deterministic.
+	d := 3 * time.Second
+	_ = time.Unix(0, 0)
+	_ = time.Date(2012, 5, 21, 0, 0, 0, 0, time.UTC)
+	return d
+}
+
+func okAllowed() time.Time {
+	//greenvet:allow detclock -- fixture: justified wall-clock read
+	return time.Now()
+}
+
+func okAllowedSameLine() time.Time {
+	return time.Now() //greenvet:allow detclock -- fixture: justified wall-clock read
+}

@@ -1,0 +1,25 @@
+// Fixture for the detrand analyzer: global math/rand draws are
+// rejected; explicitly seeded local generators are not.
+package detrand
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(8)                   // want "global math/rand draw rand.Intn"
+	_ = rand.Float64()                 // want "global math/rand draw rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand draw rand.Shuffle"
+}
+
+func badValueUse() func() float64 {
+	return rand.Float64 // want "global math/rand draw rand.Float64"
+}
+
+func okSeededLocal() int {
+	// A local generator with an explicit seed is a pure function of it.
+	r := rand.New(rand.NewSource(17))
+	return r.Intn(8)
+}
+
+func okAllowed() int {
+	return rand.Intn(8) //greenvet:allow detrand -- fixture: justified global draw
+}

@@ -1,0 +1,39 @@
+// Fixture for the floateq analyzer: exact ==/!= between computed
+// floats is rejected; constant sentinel checks, integer comparisons and
+// allow comments are not.
+package floateq
+
+type watts float64
+
+func bad(a, b float64) bool {
+	return a == b // want "exact == between floats"
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want "exact != between floats"
+}
+
+func badNamedType(a, b watts) bool {
+	return a == b // want "exact == between floats"
+}
+
+func okSentinel(w float64) float64 {
+	// Comparison against a compile-time constant is an unset-field
+	// check, deliberately not flagged.
+	if w == 0 {
+		w = 2900
+	}
+	return w
+}
+
+func okInts(a, b int) bool {
+	return a == b
+}
+
+func okOrdering(a, b float64) bool {
+	return a < b
+}
+
+func okAllowed(a, b float64) bool {
+	return a == b //greenvet:allow floateq -- fixture: exact identity intended
+}

@@ -1,0 +1,18 @@
+// Fixture for the layering analyzer: a deterministic-plane package
+// importing the live plane, net/http or a cmd is rejected; neutral
+// imports are not. The rule set under test forbids
+// repro/internal/obs/live, net/http and repro/cmd/... .
+package layering
+
+import (
+	"net/http" // want "forbidden"
+	"sort"
+
+	"repro/internal/obs/live" // want "forbidden"
+	"repro/internal/units"
+)
+
+var _ = http.StatusOK
+var _ = live.DefaultFlightCapacity
+var _ units.Seconds
+var _ = sort.Strings

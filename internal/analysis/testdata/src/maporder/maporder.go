@@ -1,0 +1,79 @@
+// Fixture for the maporder analyzer: map iteration leaking order into
+// slices, writers or obs records is rejected; the collect-then-sort
+// idiom, per-iteration copies and order-insensitive bodies are not.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+func badWriter(m map[string]int, buf *bytes.Buffer) {
+	for k := range m { // want "map iteration order writes to an io.Writer"
+		buf.WriteString(k)
+	}
+}
+
+func badFprintf(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m { // want "map iteration order writes to an io.Writer"
+		fmt.Fprintf(buf, "%s=%d\n", k, v)
+	}
+}
+
+func badObs(m map[string]float64, rec obs.Recorder) {
+	for name, v := range m { // want "map iteration order emits obs records"
+		rec.Gauge(name, v)
+	}
+}
+
+func okSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okFreshCopyPerIteration(m map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(m))
+	for k, vs := range m {
+		out[k] = append([]float64(nil), vs...)
+	}
+	return out
+}
+
+func okOrderInsensitive(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func okSliceRange(xs []string, buf *bytes.Buffer) {
+	// Ranging a slice is ordered; only maps are flagged.
+	for _, x := range xs {
+		buf.WriteString(x)
+	}
+}
+
+func okAllowed(m map[string]int) []string {
+	var out []string
+	//greenvet:allow maporder -- fixture: order genuinely irrelevant here
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

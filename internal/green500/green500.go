@@ -87,7 +87,7 @@ func RankByTGI(entries []Entry, ref []core.Measurement, scheme core.Scheme, cust
 // assigns ranks starting at 1.
 func sortRanked(rs []Ranked) {
 	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
+		if rs[i].Score != rs[j].Score { //greenvet:allow floateq -- exact score tie-break keeps the ranking total and deterministic
 			return rs[i].Score > rs[j].Score
 		}
 		return rs[i].System < rs[j].System

@@ -119,6 +119,24 @@ func (h *Hub) CellFinished(tok CellToken, retries int, degraded bool) {
 	h.publish(Event{Kind: KindCellFinished, Procs: tok.procs, Attrs: attrs})
 }
 
+// BeginCell is the cell lifecycle as the suite scheduler consumes it:
+// it announces the cell and returns the function called exactly once
+// with the outcome (non-nil err for a failed cell, otherwise the retry
+// total and degraded flag). The func-typed return is what lets *Hub
+// satisfy suite.LiveSink structurally — the deterministic suite package
+// must not import this package, and unnamed func types match across
+// package boundaries where named ones cannot.
+func (h *Hub) BeginCell(procs int) func(err error, retries int, degraded bool) {
+	tok := h.CellStarted(procs)
+	return func(err error, retries int, degraded bool) {
+		if err != nil {
+			h.CellFailed(tok, err)
+			return
+		}
+		h.CellFinished(tok, retries, degraded)
+	}
+}
+
 // CellFailed announces a cell that exhausted its retries.
 func (h *Hub) CellFailed(tok CellToken, err error) {
 	if h == nil {

@@ -141,11 +141,11 @@ func (c *Chart) Render(w io.Writer) error {
 			ymax = math.Max(ymax, v)
 		}
 	}
-	if ymax == ymin {
+	if ymax == ymin { //greenvet:allow floateq -- degenerate-axis guard: bounds collapse only when every sample is the same stored value
 		ymax = ymin + 1
 	}
 	xmin, xmax := c.X[0], c.X[len(c.X)-1]
-	if xmax == xmin {
+	if xmax == xmin { //greenvet:allow floateq -- degenerate-axis guard: bounds collapse only when every sample is the same stored value
 		xmax = xmin + 1
 	}
 	grid := make([][]byte, height)

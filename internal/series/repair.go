@@ -102,7 +102,7 @@ func (t *Trace) Repair(interval units.Seconds, sigma float64) (*Trace, RepairRep
 			hi++
 		}
 		a, b := t.samples[lo], t.samples[hi]
-		if b.At == a.At {
+		if b.At == a.At { //greenvet:allow floateq -- exact duplicate-timestamp identity, not a tolerance test
 			powers[i] = b.Power
 		} else {
 			frac := float64(t.samples[i].At-a.At) / float64(b.At-a.At)

@@ -98,7 +98,7 @@ func (t *Trace) MeanPower() (units.Watts, error) {
 		return 0, err
 	}
 	start, end, _ := t.Span()
-	if end == start {
+	if end == start { //greenvet:allow floateq -- zero-span guard: start and end are the same stored sample time
 		return t.samples[0].Power, nil
 	}
 	return units.MeanPower(e, end-start), nil
@@ -133,7 +133,7 @@ func (t *Trace) Interpolate(at units.Seconds) (units.Watts, error) {
 	}
 	i := sort.Search(n, func(k int) bool { return t.samples[k].At >= at })
 	a, b := t.samples[i-1], t.samples[i]
-	if b.At == a.At {
+	if b.At == a.At { //greenvet:allow floateq -- exact duplicate-timestamp identity, not a tolerance test
 		return b.Power, nil
 	}
 	frac := float64(at-a.At) / float64(b.At-a.At)
@@ -257,7 +257,7 @@ func Add(a, b *Trace) (*Trace, error) {
 	out := New(len(times))
 	prev := math.Inf(-1)
 	for _, tm := range times {
-		if tm == prev {
+		if tm == prev { //greenvet:allow floateq -- exact duplicate-timestamp identity, not a tolerance test
 			continue
 		}
 		prev = tm

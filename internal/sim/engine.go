@@ -28,7 +28,7 @@ type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
+	if q[i].at != q[j].at { //greenvet:allow floateq -- event-queue comparator: exact virtual-time tie broken by sequence number
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math"
+	"sort"
 
 	"repro/internal/units"
 )
@@ -19,6 +20,7 @@ type SharedResource struct {
 	capacity  float64 // aggregate units/second
 	perJobCap float64 // per-job ceiling; 0 means no ceiling
 	jobs      map[*srJob]struct{}
+	nextSeq   uint64
 	last      units.Seconds
 	pending   Handle
 	doneWork  float64 // total units completed
@@ -26,6 +28,7 @@ type SharedResource struct {
 }
 
 type srJob struct {
+	seq       uint64 // submission order; fixes completion-callback order
 	remaining float64
 	done      func()
 }
@@ -123,7 +126,11 @@ func (r *SharedResource) reschedule() {
 	r.pending = h
 }
 
-// complete fires when at least one job has drained.
+// complete fires when at least one job has drained. When several jobs
+// drain at the same instant their done callbacks must fire in
+// submission order: callback order decides the order resumed processes
+// re-enter the event queue, so leaving it to map iteration would leak
+// schedule nondeterminism into every downstream artifact.
 func (r *SharedResource) complete() {
 	r.advance()
 	var finished []*srJob
@@ -132,6 +139,7 @@ func (r *SharedResource) complete() {
 			finished = append(finished, j)
 		}
 	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].seq < finished[k].seq })
 	for _, j := range finished {
 		delete(r.jobs, j)
 	}
@@ -152,7 +160,8 @@ func (r *SharedResource) Submit(amount float64, done func()) error {
 		return errors.New("sim: non-positive work amount")
 	}
 	r.advance()
-	j := &srJob{remaining: amount, done: done}
+	j := &srJob{seq: r.nextSeq, remaining: amount, done: done}
+	r.nextSeq++
 	r.jobs[j] = struct{}{}
 	if h := r.eng.hooks; h != nil {
 		if h.ProcessBlocked != nil {

@@ -290,3 +290,16 @@ func SumsToOne(ws []float64, tol float64) bool {
 	}
 	return math.Abs(s-1) <= tol
 }
+
+// ApproxEqual reports whether a and b agree within tol, absolutely for
+// values near zero and relatively otherwise. This is the approved way
+// to compare computed floats — exact ==/!= silently flips with rounding
+// and evaluation order, and greenvet's floateq analyzer rejects it
+// outside this package.
+func ApproxEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/units"
 )
 
@@ -142,7 +143,7 @@ func runKernel(k Kernel, a, b, c []float64, scalar float64, workers int) time.Du
 	n := len(a)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //greenvet:allow detclock -- native benchmark: measures real execution on the host
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -174,7 +175,7 @@ func runKernel(k Kernel, a, b, c []float64, scalar float64, workers int) time.Du
 		}(lo, hi)
 	}
 	wg.Wait()
-	return time.Since(start)
+	return time.Since(start) //greenvet:allow detclock -- native benchmark: measures real execution on the host
 }
 
 // validate recomputes the expected values after `trials` repetitions of a
@@ -194,9 +195,16 @@ func validate(k Kernel, a, b, c []float64, scalar float64, trials int) bool {
 	case Triad:
 		wantA = wantB + scalar*wantC
 	}
+	// Tolerance-based verification, as in the reference stream.c: the
+	// kernels are single flops, but the compiler may contract
+	// b[j]+scalar*c[j] into an FMA while the expected-value computation
+	// above rounds twice, so exact equality is architecture-dependent.
+	const tol = 1e-13
 	idx := []int{0, len(a) / 2, len(a) - 1}
 	for _, i := range idx {
-		if a[i] != wantA || b[i] != wantB || c[i] != wantC {
+		if !stats.ApproxEqual(a[i], wantA, tol) ||
+			!stats.ApproxEqual(b[i], wantB, tol) ||
+			!stats.ApproxEqual(c[i], wantC, tol) {
 			return false
 		}
 	}

@@ -7,9 +7,34 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
-	"repro/internal/obs/live"
 	"repro/internal/units"
 )
+
+// LiveSink is the scheduler's view of a wall-clock telemetry plane.
+// The suite package is on the deterministic side of the two-plane
+// architecture, so it must not import internal/obs/live (greenvet's
+// layering analyzer enforces this); instead the live plane's Hub
+// satisfies this interface structurally and callers on the wall-clock
+// side (cmd/greenbench, examples) plug it in. BeginCell returns a plain
+// func — an unnamed type — precisely so that satisfaction needs no
+// shared named types between the two planes.
+//
+// A sink must be inert with respect to the virtual plane: Tap forwards
+// every record to inner verbatim, and nothing a sink does may change
+// results, trace or metrics by a byte.
+type LiveSink interface {
+	// SweepStarted announces a sweep of total cells on workers goroutines.
+	SweepStarted(total, workers int)
+	// SweepFinished marks the sweep complete.
+	SweepFinished()
+	// Tap wraps a cell's recorder so the record stream is mirrored onto
+	// the live plane; it must forward to inner unchanged.
+	Tap(inner obs.Recorder, procs int) obs.Recorder
+	// BeginCell announces a cell entering execution and returns the
+	// function called exactly once with its outcome: a non-nil err for a
+	// failed cell, otherwise the retry total and degraded flag.
+	BeginCell(procs int) func(err error, retries int, degraded bool)
+}
 
 // CellContext is what SweepPlan.Configure receives for one sweep cell.
 type CellContext struct {
@@ -52,10 +77,10 @@ type SweepPlan struct {
 	// sequential sweep records them.
 	Trace *obs.Tracer
 	// Live, when non-nil, receives wall-clock telemetry: cell lifecycle
-	// events plus a mirror of each cell's record stream (via live.Hub.Tap).
+	// events plus a mirror of each cell's record stream (via Tap).
 	// The live plane is strictly read-only over the virtual plane —
-	// attaching a hub cannot change results, trace or metrics by a byte.
-	Live *live.Hub
+	// attaching a sink cannot change results, trace or metrics by a byte.
+	Live LiveSink
 	// Configure builds the Config for one cell. It must be safe for
 	// concurrent calls when Workers > 1. The scheduler owns the returned
 	// config's Trace and TraceAt fields.
@@ -77,29 +102,36 @@ func RunSweepPlan(plan SweepPlan) ([]*Result, error) {
 	if workers < 1 || len(plan.Axis) <= 1 {
 		workers = 1
 	}
-	plan.Live.SweepStarted(len(plan.Axis), workers)
-	defer plan.Live.SweepFinished()
+	if plan.Live != nil {
+		plan.Live.SweepStarted(len(plan.Axis), workers)
+		defer plan.Live.SweepFinished()
+	}
 	if plan.Workers > 1 && len(plan.Axis) > 1 {
 		return runSweepParallel(plan)
 	}
 	return runSweepSequential(plan)
 }
 
-// runCell executes one configured cell under the plan's live hub: the
-// hub sees the cell start, the mirrored record stream (through the tap
-// installed as cfg.Trace), and the completion or failure. With a nil hub
-// this is exactly Run(cfg).
+// runCell executes one configured cell under the plan's live sink: the
+// sink sees the cell start, the mirrored record stream (through the tap
+// installed as cfg.Trace), and the completion or failure. With a nil
+// sink this is exactly Run(cfg).
 func runCell(plan SweepPlan, cfg Config, procs int) (*Result, error) {
+	var done func(err error, retries int, degraded bool)
 	if plan.Live != nil {
 		cfg.Trace = plan.Live.Tap(cfg.Trace, procs)
+		done = plan.Live.BeginCell(procs)
 	}
-	tok := plan.Live.CellStarted(procs)
 	r, err := Run(cfg)
 	if err != nil {
-		plan.Live.CellFailed(tok, err)
+		if done != nil {
+			done(err, 0, false)
+		}
 		return nil, err
 	}
-	plan.Live.CellFinished(tok, resultRetries(r), r.Degraded)
+	if done != nil {
+		done(nil, resultRetries(r), r.Degraded)
+	}
 	return r, nil
 }
 
