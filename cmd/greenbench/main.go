@@ -31,12 +31,27 @@
 // produces the identical output file. The journal records the sweep's
 // benchmark list and refuses to resume a differently-composed sweep. It
 // is removed once the final JSON is safely written.
+//
+// Crash isolation:
+//
+//	greenbench -system fire -sweep -shards 4 -o sweep.json
+//	greenbench -system fire -sweep -shards 4 -shard-timeout 60s -shard-retries 3 -o s.json
+//
+// -shards N splits the sweep axis across N independent worker processes,
+// each checkpointing to its own journal segment and heartbeating to the
+// supervising parent. A worker that crashes or goes silent is killed and
+// relaunched with backoff; a shard that keeps dying is bisected down to
+// the poison cell, which is quarantined while the rest of the campaign
+// completes as a partial result (journal kept; a later -resume without
+// the crash re-runs just the quarantined cells). Segments merge in axis
+// order, so sharded output is byte-identical to -shards 0 at any count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strings"
 	"sync/atomic"
@@ -48,6 +63,7 @@ import (
 	"repro/internal/native"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/shard"
 	"repro/internal/suite"
 	"repro/internal/units"
 )
@@ -95,9 +111,16 @@ func main() {
 	eventsPath := flag.String("events", "", "append the live event stream to this file as NDJSON")
 	flightPath := flag.String("flightrec", "", "flight-recorder dump path on interrupt/abort (default: <out>.flightrec.json)")
 	cellPause := flag.Duration("cellpause", 0, "wall-clock pause before each sweep cell (demo/e2e pacing; virtual results unaffected)")
+	shards := flag.Int("shards", 0, "run the sweep as this many supervised worker processes (crash isolation; needs -sweep and -o/-journal)")
+	shardTimeout := flag.Duration("shard-timeout", 30*time.Second, "kill and relaunch a shard worker whose heartbeat is silent this long")
+	shardRetries := flag.Int("shard-retries", 2, "relaunches per lost shard before bisecting to the poison cell (negative: none)")
+	shardWorker := flag.Int("shard-worker", 0, "internal: shard index when running as a supervised worker")
+	shardAxis := flag.String("shard-axis", "", "internal: comma-separated process counts this worker owns (enables worker mode)")
+	shardTrace := flag.Bool("shard-trace", false, "internal: journal cell traces and metric ops in the worker")
+	shardTick := flag.Duration("shard-tick", time.Second, "internal: worker heartbeat interval")
 	flag.Parse()
 
-	if err := run(options{
+	o := options{
 		system: *system, specPath: *specPath, native: *nativeRun, watts: *watts,
 		procs: *procs, sweep: *sweep, extended: *extended, bench: *benchList,
 		workers: *workers, list: *list, out: *out, placement: *placement,
@@ -106,10 +129,49 @@ func main() {
 		tracePath: *tracePath, metricsPath: *metricsPath, reportPath: *reportPath,
 		serve: *serve, progressEvery: *progressEvery, eventsPath: *eventsPath,
 		flightPath: *flightPath, cellPause: *cellPause,
-	}); err != nil {
+		shards: *shards, shardTimeout: *shardTimeout, shardRetries: *shardRetries,
+		shardWorker: *shardWorker, shardAxis: *shardAxis, shardTrace: *shardTrace,
+		shardTick: *shardTick,
+	}
+	if err := validateCLI(o); err != nil {
+		fmt.Fprintln(os.Stderr, "greenbench:", err)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
 	}
+}
+
+// validateCLI rejects nonsensical flag combinations up front with
+// actionable messages, before any journal or telemetry state is touched.
+// It guards the CLI only — run() keeps accepting zero values so it stays
+// directly drivable from tests.
+func validateCLI(o options) error {
+	if o.workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d (use -workers 1 for the sequential schedule)", o.workers)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d (0 runs each benchmark once)", o.retries)
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v (0 disables the per-benchmark limit)", o.timeout)
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", o.shards)
+	}
+	if o.shards > 1 {
+		if !o.sweep {
+			return fmt.Errorf("-shards %d needs -sweep: only a process sweep can be partitioned across worker processes", o.shards)
+		}
+		if o.journalFile() == "" {
+			return fmt.Errorf("-shards needs a checkpoint journal: pass -o or -journal so shard segments have somewhere to merge")
+		}
+	}
+	if o.shardAxis != "" && o.journalPath == "" {
+		return fmt.Errorf("-shard-axis is internal to sharded sweeps and needs -journal (run greenbench -sweep -shards N instead)")
+	}
+	return nil
 }
 
 type options struct {
@@ -139,6 +201,20 @@ type options struct {
 	eventsPath    string
 	flightPath    string
 	cellPause     time.Duration
+	// Sharded sweeps (wall-clock plane; see internal/shard). shards > 1
+	// runs the sweep as supervised OS worker processes; a non-empty
+	// shardAxis switches this invocation into worker mode.
+	shards       int
+	shardTimeout time.Duration
+	shardRetries int
+	shardWorker  int
+	shardAxis    string
+	shardTrace   bool
+	shardTick    time.Duration
+	// workerCommand overrides how the supervisor builds a shard worker
+	// process — a test hook so e2e tests can re-enter the test binary
+	// instead of exec'ing a real greenbench.
+	workerCommand func(t shard.Task, segment string) (*exec.Cmd, error)
 	// interruptAfter aborts a sweep after N checkpointed cells — a test
 	// hook simulating a killed process (the journal stays behind).
 	interruptAfter int
@@ -402,6 +478,13 @@ func run(o options) error {
 		}
 	}
 
+	// Worker mode: this process is one shard of a supervised sweep. It
+	// runs its axis slice against its own journal segment, heartbeats on
+	// stdout, and never writes user-facing output — the parent does.
+	if o.shardAxis != "" {
+		return runShardWorker(o, spec, pl, benches, plan)
+	}
+
 	var tracer *obs.Tracer
 	if o.traced() {
 		tracer = obs.NewTracer()
@@ -441,6 +524,22 @@ func run(o options) error {
 			for i := 1; i <= 8; i++ {
 				axis = append(axis, spec.TotalCores()*i/8)
 			}
+		}
+		// A sharded sweep runs the axis as supervised worker processes
+		// first, merging their journal segments (and quarantine records for
+		// cells lost to a poison shard) into the canonical journal. The
+		// ordinary resume path below then renders the campaign entirely
+		// from that journal — every cell a Lookup hit — so sharded output
+		// is byte-identical to a single-process sequential run by
+		// construction.
+		keepQuarantined := false
+		if o.shards > 1 {
+			if err := superviseShards(&o, spec, pl, benches, axis, ls); err != nil {
+				ls.dump("abort: " + err.Error())
+				return err
+			}
+			o.resume = true
+			keepQuarantined = true
 		}
 		// Checkpoint completed (procs, benchmark) cells so an interrupted
 		// sweep can resume instead of re-simulating finished work.
@@ -493,10 +592,18 @@ func run(o options) error {
 				if o.resume {
 					cfg.Lookup = func(bench string) (suite.BenchmarkRun, bool) {
 						run, ok := journal.Lookup(key(bench))
+						// A quarantined cell is an artifact of a lost shard
+						// worker, not a simulation outcome: a user-driven
+						// resume re-runs it. Only the sharded supervisor's
+						// own render pass keeps it cached.
+						if ok && run.Status == suite.StatusQuarantined && !keepQuarantined {
+							return suite.BenchmarkRun{}, false
+						}
 						if ok && ctx.Rec != nil {
 							if tr, hasTrace := journal.LookupTrace(key(bench)); hasTrace {
 								ctx.Rec.Replay(obs.ShiftedSpans(tr.Spans, origin),
 									obs.ShiftedEvents(tr.Events, origin))
+								ctx.Rec.ReplayOps(tr.Ops)
 								mark = ctx.Rec.Mark()
 							}
 						}
@@ -506,10 +613,12 @@ func run(o options) error {
 				cfg.OnBenchmark = func(bench string, run suite.BenchmarkRun) error {
 					if ctx.Rec != nil {
 						spans, events := ctx.Rec.Since(mark)
+						ops := ctx.Rec.OpsSince(mark)
 						mark = ctx.Rec.Mark()
 						journal.SetTrace(key(bench), suite.CellTrace{
 							Spans:  obs.ShiftedSpans(spans, -ctx.Origin),
 							Events: obs.ShiftedEvents(events, -ctx.Origin),
+							Ops:    ops,
 						})
 					}
 					if err := journal.Record(key(bench), run); err != nil {
@@ -567,6 +676,11 @@ func run(o options) error {
 		fmt.Println(header)
 		for _, b := range r.Runs {
 			m := b.Measurement
+			if b.Status == suite.StatusQuarantined {
+				fmt.Printf("  %-7s QUARANTINED (shard worker lost): %s\n",
+					m.Benchmark, b.Error)
+				continue
+			}
 			if !b.OK() {
 				fmt.Printf("  %-7s FAILED after %d attempt(s): %s\n",
 					m.Benchmark, b.Retries+1, b.Error)
@@ -595,13 +709,33 @@ func run(o options) error {
 		return err
 	}
 	// The sweep completed and its output (if any) is safely on disk: the
-	// journal has served its purpose.
+	// journal has served its purpose — unless cells were quarantined, in
+	// which case it is the handle for retrying them.
 	if journal != nil {
+		if n := countQuarantined(results); n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"%d cell(s) quarantined; journal %s kept — re-run with -resume to retry them\n",
+				n, journal.Path())
+			return nil
+		}
 		if err := journal.Remove(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// countQuarantined totals the quarantined benchmark cells across results.
+func countQuarantined(results []*suite.Result) int {
+	n := 0
+	for _, r := range results {
+		for _, b := range r.Runs {
+			if b.Status == suite.StatusQuarantined {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // writeObservability emits the campaign's trace, metrics and run report

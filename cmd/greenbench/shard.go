@@ -1,0 +1,404 @@
+package main
+
+// Sharded sweeps: -shards N partitions the process axis across N
+// supervised greenbench worker processes (crash isolation), then renders
+// the campaign from the merged journal. The split of responsibilities:
+//
+//   - internal/shard owns supervision mechanics: launching, heartbeat
+//     watchdog, retry with backoff, bisection, quarantine decisions.
+//   - internal/suite owns the deterministic half: journal segments,
+//     their axis-order merge, and the resume machinery that turns the
+//     merged journal into results/trace/metrics byte-identical to a
+//     single-process sequential run.
+//   - This file glues them: builds worker argv, seeds segments on
+//     resume, records quarantined cells, and bridges shard lifecycle
+//     events onto the live telemetry plane.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+	"repro/internal/shard"
+	"repro/internal/suite"
+)
+
+// segmentPath names shard i's journal segment next to the canonical
+// journal.
+func segmentPath(journal string, i int) string {
+	return fmt.Sprintf("%s.shard-%d", journal, i)
+}
+
+// shardMonitor bridges supervisor lifecycle events to the live plane and
+// dumps the flight recorder when a shard is lost — the post-mortem ring
+// then holds the campaign's last moments alongside the loss itself.
+type shardMonitor struct {
+	hub *live.Hub
+	ls  *liveState
+}
+
+func (m shardMonitor) ShardStarted(shard, attempt, cells int) {
+	m.hub.ShardStarted(shard, attempt, cells)
+}
+
+func (m shardMonitor) ShardLost(shard int, reason string) {
+	m.hub.ShardLost(shard, reason)
+	m.ls.dump(fmt.Sprintf("shard %d lost: %s", shard, reason))
+}
+
+func (m shardMonitor) ShardFinished(shard int) { m.hub.ShardFinished(shard) }
+
+func (m shardMonitor) ShardQuarantined(shard, procs int, reason string) {
+	m.hub.ShardQuarantined(shard, procs, reason)
+}
+
+// superviseShards runs the sweep's axis as o.shards supervised worker
+// processes and leaves the canonical journal holding every cell: the
+// workers' merged segments plus StatusQuarantined records for cells lost
+// to a poison shard. The caller then renders the campaign through the
+// ordinary resume path.
+func superviseShards(o *options, spec *cluster.Spec, pl cluster.Placement, benches []string, axis []int, ls *liveState) error {
+	path := o.journalFile()
+	if path == "" {
+		return fmt.Errorf("-shards needs a checkpoint journal: pass -o or -journal")
+	}
+	journal, err := suite.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	if err := journal.Bind(benches); err != nil {
+		return err
+	}
+	if journal.LegacyTraces() {
+		return fmt.Errorf("journal %s stores traces in the pre-v3 absolute-time layout and cannot seed shard segments; resume it with -workers 1 first, or delete it to start over", journal.Path())
+	}
+
+	tasks := shard.Partition(axis, o.shards)
+	segments := make([]string, len(tasks))
+	for i, t := range tasks {
+		segments[i] = segmentPath(path, t.Shard)
+		if !o.resume {
+			// A fresh campaign must not inherit cells from an abandoned one.
+			if err := os.Remove(segments[i]); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		// On resume, seed each segment with the cells the canonical journal
+		// already holds for its procs, so relaunched workers skip them.
+		// Quarantined records are not seeded: a user-driven resume re-runs
+		// those cells.
+		seg, err := suite.OpenJournal(segments[i])
+		if err != nil {
+			return err
+		}
+		if err := seg.Bind(benches); err != nil {
+			return err
+		}
+		for _, p := range t.Procs {
+			for _, b := range benches {
+				key := suite.CellKey(spec.Name, p, pl.String(), b)
+				if _, ok := seg.Lookup(key); ok {
+					continue
+				}
+				if run, ok := journal.Lookup(key); ok && run.Status != suite.StatusQuarantined {
+					tr, _ := journal.LookupTrace(key)
+					seg.Stage(key, run, tr)
+				}
+			}
+		}
+		if err := seg.Flush(); err != nil {
+			return err
+		}
+	}
+
+	start := o.workerCommand
+	if start == nil {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving worker executable: %w", err)
+		}
+		start = func(t shard.Task, segment string) (*exec.Cmd, error) {
+			cmd := exec.Command(exe, workerArgs(*o, benches, t, segment)...)
+			cmd.Stderr = os.Stderr
+			return cmd, nil
+		}
+	}
+	rep, err := shard.Run(shard.Spec{
+		Tasks: tasks,
+		Start: func(t shard.Task) (*exec.Cmd, error) {
+			return start(t, segments[t.Shard])
+		},
+		HeartbeatTimeout: o.shardTimeout,
+		MaxRetries:       o.shardRetries,
+		Log:              os.Stderr,
+		Monitor:          shardMonitor{hub: ls.Hub(), ls: ls},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Merge whatever the workers checkpointed, in deterministic axis
+	// order; reopen each segment so the workers' writes are visible.
+	var segs []*suite.Journal
+	for _, p := range segments {
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			continue
+		}
+		seg, err := suite.OpenJournal(p)
+		if err != nil {
+			return fmt.Errorf("reading shard segment: %w", err)
+		}
+		segs = append(segs, seg)
+	}
+	missing, err := suite.MergeShardJournals(journal, segs, spec.Name, pl.String(), axis, benches)
+	if err != nil {
+		return err
+	}
+
+	// Cells no segment supplied must all belong to quarantined axis
+	// points; record them explicitly so the campaign degrades to a
+	// partial result instead of failing.
+	reasons := map[int]string{}
+	for _, q := range rep.Quarantined {
+		reasons[q.Procs] = q.Reason
+	}
+	missingSet := map[string]bool{}
+	for _, key := range missing {
+		missingSet[key] = true
+	}
+	quarantined := 0
+	for _, p := range axis {
+		reason, ok := reasons[p]
+		if !ok {
+			continue
+		}
+		for _, b := range benches {
+			key := suite.CellKey(spec.Name, p, pl.String(), b)
+			if !missingSet[key] {
+				continue // the worker checkpointed it before dying
+			}
+			journal.Stage(key, quarantinedRun(b, reason), suite.CellTrace{})
+			delete(missingSet, key)
+			quarantined++
+		}
+	}
+	if len(missingSet) > 0 {
+		var keys []string
+		for key := range missingSet {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("shard workers finished without checkpointing %d cell(s): %s", len(keys), strings.Join(keys, ", "))
+	}
+	if err := journal.Flush(); err != nil {
+		return err
+	}
+	for _, p := range segments {
+		os.Remove(p) // merged; the canonical journal holds everything now
+	}
+
+	fmt.Fprintf(os.Stderr, "sharded sweep: %d worker launch(es), %d loss(es); merged %d segment(s) into %s\n",
+		rep.Launches, rep.Losses, len(segs), journal.Path())
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "sharded sweep: %d cell(s) quarantined after retries and bisection\n", quarantined)
+	}
+	return nil
+}
+
+// workerArgs builds the argv of one shard worker: the hidden worker-mode
+// flags plus the subset of the parent's flags that decide what the cells
+// compute. Flags that only shape parent-side output (-o, -trace, -serve,
+// …) are deliberately absent — a worker's sole artifact is its segment.
+func workerArgs(o options, benches []string, t shard.Task, segment string) []string {
+	procs := make([]string, len(t.Procs))
+	for i, p := range t.Procs {
+		procs[i] = strconv.Itoa(p)
+	}
+	tick := o.shardTimeout / 5
+	if tick <= 0 {
+		tick = time.Second
+	}
+	args := []string{
+		"-shard-worker", strconv.Itoa(t.Shard),
+		"-shard-axis", strings.Join(procs, ","),
+		"-journal", segment,
+		"-shard-tick", tick.String(),
+		"-placement", o.placement,
+		"-bench", strings.Join(benches, ","),
+	}
+	if o.specPath != "" {
+		args = append(args, "-spec", o.specPath)
+	} else {
+		args = append(args, "-system", o.system)
+	}
+	if o.traced() {
+		// The parent will replay cell traces and metric ops out of the
+		// merged journal; the workers must record them.
+		args = append(args, "-shard-trace")
+	}
+	if o.faultsPath != "" {
+		args = append(args, "-faults", o.faultsPath)
+	}
+	if o.retries > 0 {
+		args = append(args, "-retries", strconv.Itoa(o.retries))
+	}
+	if o.timeout > 0 {
+		args = append(args, "-timeout", strconv.FormatFloat(o.timeout, 'g', -1, 64))
+	}
+	if o.cellPause > 0 {
+		args = append(args, "-cellpause", o.cellPause.String())
+	}
+	return args
+}
+
+// quarantinedRun is the journal record for a cell lost to a poison
+// shard: no measurement, status quarantined, the supervisor's reason as
+// the error. OK() is false, so the rendered campaign is Degraded and TGI
+// over it covers only the surviving cells.
+func quarantinedRun(benchName, reason string) suite.BenchmarkRun {
+	m := core.Measurement{Benchmark: benchName}
+	if w, ok := bench.Lookup(benchName); ok {
+		m.Metric = w.Metric()
+	}
+	return suite.BenchmarkRun{
+		Measurement: m,
+		Status:      suite.StatusQuarantined,
+		Error:       reason,
+	}
+}
+
+// parseAxis decodes the worker's -shard-axis value.
+func parseAxis(s string) ([]int, error) {
+	var axis []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := strconv.Atoi(part)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-shard-axis entry %q is not a process count", part)
+		}
+		axis = append(axis, p)
+	}
+	if len(axis) == 0 {
+		return nil, fmt.Errorf("-shard-axis %q holds no process counts", s)
+	}
+	return axis, nil
+}
+
+// runShardWorker is greenbench's hidden worker mode: run the assigned
+// axis slice sequentially, checkpoint every cell (with its cell-relative
+// trace and metric ops when the parent asked for observability) into the
+// private journal segment, and heartbeat on stdout. Stdout belongs to
+// the supervisor's watchdog — no results are printed. The segment is
+// opened in resume mode unconditionally, so a relaunched worker skips
+// everything its predecessor checkpointed.
+func runShardWorker(o options, spec *cluster.Spec, pl cluster.Placement, benches []string, plan *faults.Plan) error {
+	axis, err := parseAxis(o.shardAxis)
+	if err != nil {
+		return err
+	}
+	if o.journalPath == "" {
+		return fmt.Errorf("shard worker needs -journal (its segment file)")
+	}
+	pf, err := faults.ProcFaultFromEnv()
+	if err != nil {
+		return err
+	}
+	journal, err := suite.OpenJournal(o.journalPath)
+	if err != nil {
+		return err
+	}
+	if err := journal.Bind(benches); err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	if o.shardTrace {
+		tracer = obs.NewTracer()
+	}
+
+	beats := shard.NewBeatWriter(os.Stdout, o.shardWorker)
+	total := len(axis) * len(benches)
+	beats.Hello(total)
+	stop := shard.StartTicks(beats, o.shardTick)
+	defer stop()
+	var done atomic.Int64
+	fire := func(d int) {
+		if pf.Fires(o.shardWorker, d) {
+			stop()
+			pf.Fire(beats.Mute)
+		}
+	}
+	fire(0)
+
+	_, err = suite.RunSweepPlan(suite.SweepPlan{
+		Axis:    axis,
+		Workers: 1,
+		Trace:   tracer,
+		Configure: func(ctx suite.CellContext) (suite.Config, error) {
+			if o.cellPause > 0 {
+				time.Sleep(o.cellPause)
+			}
+			cfg := suite.DefaultConfig(spec, ctx.Procs)
+			cfg.Placement = pl
+			cfg.Benchmarks = benches
+			cfg.Faults = plan
+			cfg.Retry = o.retryPolicy()
+			key := func(b string) string {
+				return suite.CellKey(spec.Name, ctx.Procs, pl.String(), b)
+			}
+			origin := ctx.Origin
+			mark := ctx.Rec.Mark()
+			cfg.Lookup = func(b string) (suite.BenchmarkRun, bool) {
+				run, ok := journal.Lookup(key(b))
+				if ok && ctx.Rec != nil {
+					if tr, hasTrace := journal.LookupTrace(key(b)); hasTrace {
+						ctx.Rec.Replay(obs.ShiftedSpans(tr.Spans, origin),
+							obs.ShiftedEvents(tr.Events, origin))
+						ctx.Rec.ReplayOps(tr.Ops)
+						mark = ctx.Rec.Mark()
+					}
+				}
+				return run, ok
+			}
+			cfg.OnBenchmark = func(b string, run suite.BenchmarkRun) error {
+				if ctx.Rec != nil {
+					spans, events := ctx.Rec.Since(mark)
+					ops := ctx.Rec.OpsSince(mark)
+					mark = ctx.Rec.Mark()
+					journal.SetTrace(key(b), suite.CellTrace{
+						Spans:  obs.ShiftedSpans(spans, -ctx.Origin),
+						Events: obs.ShiftedEvents(events, -ctx.Origin),
+						Ops:    ops,
+					})
+				}
+				if err := journal.Record(key(b), run); err != nil {
+					return err
+				}
+				d := int(done.Add(1))
+				beats.Cell(key(b), d, total)
+				fire(d)
+				return nil
+			}
+			return cfg, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	beats.Done()
+	return nil
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/shard"
+)
+
+// workerEnv carries a shard worker's configuration to the helper process
+// through the environment — options has unexported fields, so the hook
+// serialises this exported mirror instead.
+type workerEnv struct {
+	Shard     int
+	Axis      string
+	Journal   string
+	System    string
+	Bench     string
+	Placement string
+	Trace     bool
+	Tick      time.Duration
+}
+
+const workerEnvVar = "GREENBENCH_SHARD_WORKER_ENV"
+
+// TestShardWorkerProcess is not a test: it is the shard worker child the
+// supervisor e2e tests launch (exec'ing a real greenbench binary would
+// exec the test binary here, so the worker re-enters through this body).
+func TestShardWorkerProcess(t *testing.T) {
+	raw := os.Getenv(workerEnvVar)
+	if raw == "" {
+		return
+	}
+	var w workerEnv
+	if err := json.Unmarshal([]byte(raw), &w); err != nil {
+		fmt.Fprintln(os.Stderr, "worker env:", err)
+		os.Exit(99)
+	}
+	err := run(options{
+		system: w.System, bench: w.Bench, placement: w.Placement,
+		workers: 1, journalPath: w.Journal,
+		shardWorker: w.Shard, shardAxis: w.Axis,
+		shardTrace: w.Trace, shardTick: w.Tick,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// testWorkerCommand is the supervisor Start hook used by the e2e tests:
+// it launches this test binary as the worker process.
+func testWorkerCommand(o options, benches string) func(shard.Task, string) (*exec.Cmd, error) {
+	return func(task shard.Task, segment string) (*exec.Cmd, error) {
+		procs := make([]string, len(task.Procs))
+		for i, p := range task.Procs {
+			procs[i] = strconv.Itoa(p)
+		}
+		env, err := json.Marshal(workerEnv{
+			Shard: task.Shard, Axis: strings.Join(procs, ","), Journal: segment,
+			System: o.system, Bench: benches, Placement: "cyclic",
+			Trace: o.traced(), Tick: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(os.Args[0], "-test.run=TestShardWorkerProcess$")
+		cmd.Env = append(os.Environ(), workerEnvVar+"="+string(env))
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+// sequentialBaseline runs the unfaulted single-process sequential sweep
+// and returns its results, trace and metrics paths.
+func sequentialBaseline(t *testing.T, dir string) (out, trace, metrics string) {
+	t.Helper()
+	out = filepath.Join(dir, "seq.json")
+	trace = filepath.Join(dir, "seq.trace.json")
+	metrics = filepath.Join(dir, "seq.metrics.json")
+	err := run(options{
+		system: "testbed", sweep: true, workers: 1, placement: "cyclic",
+		out: out, tracePath: trace, metricsPath: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, trace, metrics
+}
+
+// mustEqualFiles asserts two artifact files are byte-identical.
+func mustEqualFiles(t *testing.T, what, a, b string) {
+	t.Helper()
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Errorf("%s differs between sequential and sharded runs", what)
+	}
+}
+
+func shardedOptions(dir, tag string, shards int) options {
+	o := options{
+		system: "testbed", sweep: true, workers: 1, placement: "cyclic", shards: shards,
+		out:         filepath.Join(dir, tag+".json"),
+		tracePath:   filepath.Join(dir, tag+".trace.json"),
+		metricsPath: filepath.Join(dir, tag+".metrics.json"),
+	}
+	o.workerCommand = testWorkerCommand(o, "paper")
+	return o
+}
+
+func TestShardedSweepMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	seqOut, seqTrace, seqMetrics := sequentialBaseline(t, dir)
+	for _, shards := range []int{2, 3} {
+		o := shardedOptions(dir, fmt.Sprintf("sh%d", shards), shards)
+		if err := run(o); err != nil {
+			t.Fatalf("%d-shard sweep: %v", shards, err)
+		}
+		mustEqualFiles(t, "results", seqOut, o.out)
+		mustEqualFiles(t, "trace", seqTrace, o.tracePath)
+		mustEqualFiles(t, "metrics", seqMetrics, o.metricsPath)
+		if segs, _ := filepath.Glob(filepath.Join(dir, "*.shard-*")); len(segs) != 0 {
+			t.Errorf("%d-shard sweep left segments behind: %v", shards, segs)
+		}
+		if _, err := os.Stat(o.out + ".journal"); !os.IsNotExist(err) {
+			t.Errorf("%d-shard sweep left its journal behind", shards)
+		}
+	}
+}
+
+func TestShardedSweepSurvivesWorkerSIGKILL(t *testing.T) {
+	// Shard 1 is SIGKILLed after checkpointing two cells; the marker
+	// makes the fault transient, so the supervisor's relaunch completes
+	// the shard and the campaign's artifacts stay byte-identical to the
+	// unfaulted sequential run.
+	dir := t.TempDir()
+	seqOut, seqTrace, seqMetrics := sequentialBaseline(t, dir)
+	marker := filepath.Join(dir, "killed-once")
+	t.Setenv(faults.ProcFaultEnv, "shard=1;after=2;mode=sigkill;marker="+marker)
+	o := shardedOptions(dir, "killed", 2)
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatal("the injected SIGKILL never fired")
+	}
+	mustEqualFiles(t, "results", seqOut, o.out)
+	mustEqualFiles(t, "trace", seqTrace, o.tracePath)
+	mustEqualFiles(t, "metrics", seqMetrics, o.metricsPath)
+}
+
+func TestShardedSweepQuarantinesAndResumes(t *testing.T) {
+	// Shard 1 dies on every launch (no marker): the supervisor bisects,
+	// quarantines its axis points, and the campaign degrades to a partial
+	// result with the journal kept. A plain -resume without the fault
+	// re-runs the quarantined cells and converges to the unfaulted
+	// sequential artifacts, byte for byte.
+	dir := t.TempDir()
+	seqOut, seqTrace, seqMetrics := sequentialBaseline(t, dir)
+	t.Setenv(faults.ProcFaultEnv, "shard=1;after=0;mode=exit")
+	o := shardedOptions(dir, "poisoned", 2)
+	o.shardRetries = -1 // no relaunch budget: straight to bisection
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	outBytes, err := os.ReadFile(o.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(outBytes), `"quarantined"`) {
+		t.Fatal("degraded campaign does not mark quarantined cells in its output")
+	}
+	journal := o.out + ".journal"
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatal("journal not kept after a quarantine-degraded campaign")
+	}
+
+	os.Unsetenv(faults.ProcFaultEnv)
+	re := options{
+		system: "testbed", sweep: true, workers: 1, placement: "cyclic", resume: true,
+		out: o.out, tracePath: o.tracePath, metricsPath: o.metricsPath,
+	}
+	if err := run(re); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualFiles(t, "results", seqOut, re.out)
+	mustEqualFiles(t, "trace", seqTrace, re.tracePath)
+	mustEqualFiles(t, "metrics", seqMetrics, re.metricsPath)
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Error("journal not removed after the resume completed the campaign")
+	}
+}
+
+func TestValidateCLI(t *testing.T) {
+	valid := options{workers: 1}
+	if err := validateCLI(valid); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"zero workers", options{workers: 0}, "-workers"},
+		{"negative retries", options{workers: 1, retries: -1}, "-retries"},
+		{"negative timeout", options{workers: 1, timeout: -5}, "-timeout"},
+		{"negative shards", options{workers: 1, shards: -1}, "-shards"},
+		{"shards without sweep", options{workers: 1, shards: 2, out: "x.json"}, "-sweep"},
+		{"shards without journal", options{workers: 1, shards: 2, sweep: true}, "journal"},
+		{"worker axis without journal", options{workers: 1, shardAxis: "1,2"}, "-journal"},
+	} {
+		err := validateCLI(tc.o)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

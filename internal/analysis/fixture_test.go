@@ -119,10 +119,53 @@ func TestLayeringFixture(t *testing.T) {
 	})
 }
 
+func TestShardWallFixture(t *testing.T) {
+	// The shard process wall, under the deterministic packages' own
+	// forbid list: importing the crash-isolation layer or os/exec is
+	// flagged, importing the deterministic merge path (suite) is not.
+	rules, ok := analysis.DefaultConfig().RulesFor("repro/internal/suite")
+	if !ok {
+		t.Fatal("no rules for repro/internal/suite")
+	}
+	rules.Match = "fixture/shardwall"
+	rules.Analyzers = []string{"layering"}
+	runFixture(t, "shardwall", rules)
+}
+
 func TestAllowFixture(t *testing.T) {
 	// Malformed/misspelled suppressions are findings even with no
 	// analyzers configured: a typo must not silently disable a rule.
 	runFixture(t, "allow", analysis.Rules{Match: "fixture/allow", Analyzers: []string{"detclock"}})
+}
+
+// TestBuildConstraintsFilterFiles pins the loader's build-tag handling:
+// a platform-variant file pair (//go:build unix / //go:build !unix)
+// declaring the same function must load as ONE file, not two duplicate
+// declarations — exactly one side of the pair builds on any platform.
+func TestBuildConstraintsFilterFiles(t *testing.T) {
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name, constraint string) {
+		src := "//go:build " + constraint + "\n\npackage pair\n\nfunc which() string { return \"" + constraint + "\" }\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("pair_unix.go", "unix")
+	write("pair_other.go", "!unix")
+	pkg, err := mod.CheckDir(dir, "fixture/pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files of the pair, want exactly 1", len(pkg.Files))
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("constraint-filtered pair must type-check cleanly: %v", terr)
+	}
 }
 
 // TestInjectedViolation pins the failure mode end to end: a fresh file

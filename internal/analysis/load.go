@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -149,7 +151,11 @@ func (m *Module) packageDirs() ([]string, error) {
 	return dirs, err
 }
 
-// goFileNames lists dir's non-test Go files, sorted.
+// goFileNames lists dir's non-test Go files that build on this platform,
+// sorted. Files excluded by a //go:build constraint are skipped exactly
+// as the go tool would skip them — otherwise platform-variant file pairs
+// (foo_unix.go / foo_other.go) would load together and type-check as
+// duplicate declarations.
 func goFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -161,10 +167,60 @@ func goFileNames(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
 			continue
 		}
+		if !buildsHere(filepath.Join(dir, n)) {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// buildsHere reports whether the file's //go:build line (if any) selects
+// it for the analyzing platform. A file that cannot be read or whose
+// constraint cannot be parsed is included, so the parser and checker get
+// to report the real problem.
+func buildsHere(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true
+		}
+		return expr.Eval(buildTagSatisfied)
+	}
+	return true
+}
+
+// unixGOOS mirrors the go tool's "unix" build-tag membership.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildTagSatisfied evaluates one build tag for the analyzing platform:
+// the host GOOS/GOARCH, the "unix" alias, and any go1.x version tag
+// (the toolchain compiling this analyzer is the one that would compile
+// the analyzed file).
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func (m *Module) importPath(dir string) string {

@@ -1,0 +1,20 @@
+// Fixture for the shard process wall: a deterministic-plane package may
+// not import the crash-isolation layer (repro/internal/shard) or spawn
+// processes (os/exec) — everything that decides bytes must stay
+// process-free. The deterministic merge path (internal/suite) remains
+// importable. The rule set under test is the deterministic packages'
+// ForbidImports list.
+package shardwall
+
+import (
+	"os/exec" // want "forbidden"
+	"sort"
+
+	"repro/internal/shard" // want "forbidden"
+	"repro/internal/suite"
+)
+
+var _ = exec.ErrNotFound
+var _ shard.Task
+var _ suite.CellTrace
+var _ = sort.Ints

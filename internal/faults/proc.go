@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Process-level faults: where the Plan in this package perturbs the
+// simulated campaign (node crashes, stragglers, meter glitches), a
+// ProcFault perturbs the measurement *infrastructure* — it makes a shard
+// worker process itself die or wedge, so the supervising parent's crash
+// isolation, retry, bisection and quarantine paths can be exercised end
+// to end. It travels through the environment (ProcFaultEnv) because the
+// worker is a separate OS process: the supervisor's tests and the CI
+// fault drill set the variable, the worker checks it after every
+// checkpointed cell.
+//
+// A marker file gives fire-once semantics: the fault creates the marker
+// when it fires and never fires while the marker exists, modelling a
+// transient failure that a relaunch survives. Without a marker the fault
+// fires on every matching attempt, modelling a poison cell.
+
+// ProcFaultEnv is the environment variable a worker process reads its
+// fault from, via ProcFaultFromEnv.
+const ProcFaultEnv = "GREENBENCH_PROC_FAULT"
+
+// Process fault modes.
+const (
+	ProcExit   = "exit"    // exit with status 3
+	ProcPanic  = "panic"   // Go panic (nonzero exit + stack on stderr)
+	ProcKill   = "sigkill" // kill own process: uncatchable, mid-write death
+	ProcHang   = "hang"    // stop heartbeating and block forever
+	procStatus = 3
+)
+
+// ProcFault describes one injected worker-process failure.
+type ProcFault struct {
+	// Shard selects the targeted shard; negative matches every shard.
+	Shard int
+	// After is how many cells the worker must have checkpointed before
+	// the fault fires; 0 fires before the first cell completes.
+	After int
+	// Mode is one of ProcExit, ProcPanic, ProcKill, ProcHang.
+	Mode string
+	// Marker, when non-empty, is a file granting fire-once semantics:
+	// firing creates it, and the fault is disarmed while it exists.
+	Marker string
+}
+
+// ParseProcFault decodes the env encoding: semicolon-separated key=value
+// pairs, e.g. "shard=1;after=2;mode=sigkill;marker=/tmp/once". Keys:
+// shard (default -1 = any), after (default 0), mode (required), marker
+// (optional). An empty string is no fault (nil, nil).
+func ParseProcFault(s string) (*ProcFault, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	f := &ProcFault{Shard: -1}
+	for _, part := range strings.Split(s, ";") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: proc fault field %q is not key=value", part)
+		}
+		switch k {
+		case "shard":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("faults: proc fault shard %q is not a number", v)
+			}
+			f.Shard = n
+		case "after":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: proc fault after %q is not a cell count", v)
+			}
+			f.After = n
+		case "mode":
+			f.Mode = v
+		case "marker":
+			f.Marker = v
+		default:
+			return nil, fmt.Errorf("faults: unknown proc fault key %q", k)
+		}
+	}
+	switch f.Mode {
+	case ProcExit, ProcPanic, ProcKill, ProcHang:
+		return f, nil
+	case "":
+		return nil, fmt.Errorf("faults: proc fault %q has no mode", s)
+	default:
+		return nil, fmt.Errorf("faults: unknown proc fault mode %q", f.Mode)
+	}
+}
+
+// ProcFaultFromEnv decodes ProcFaultEnv; unset or empty is (nil, nil).
+func ProcFaultFromEnv() (*ProcFault, error) {
+	return ParseProcFault(os.Getenv(ProcFaultEnv))
+}
+
+// Fires reports whether the fault should fire now, for a worker on the
+// given shard that has checkpointed done cells. Nil-safe. A fault with a
+// marker is disarmed while the marker file exists.
+func (f *ProcFault) Fires(shard, done int) bool {
+	if f == nil {
+		return false
+	}
+	if f.Shard >= 0 && f.Shard != shard {
+		return false
+	}
+	if done < f.After {
+		return false
+	}
+	if f.Marker != "" {
+		if _, err := os.Stat(f.Marker); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire executes the fault and, except for ProcHang, never returns. The
+// marker (if any) is written first, so a relaunched worker sees the
+// fault disarmed. hang is called before blocking in ProcHang mode — the
+// worker passes its heartbeat mute, so the hang is silent and the
+// supervisor's watchdog (not the exit status) must catch it.
+func (f *ProcFault) Fire(hang func()) {
+	if f.Marker != "" {
+		os.WriteFile(f.Marker, []byte(f.Mode+"\n"), 0o644)
+	}
+	switch f.Mode {
+	case ProcPanic:
+		panic("faults: injected worker panic")
+	case ProcKill:
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+		}
+		select {} // the signal is in flight; never resume
+	case ProcHang:
+		if hang != nil {
+			hang()
+		}
+		select {}
+	default: // ProcExit
+		os.Exit(procStatus)
+	}
+}

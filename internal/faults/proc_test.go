@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseProcFault(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want *ProcFault
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"mode=exit", &ProcFault{Shard: -1, Mode: ProcExit}},
+		{"shard=1;after=2;mode=sigkill;marker=/tmp/m",
+			&ProcFault{Shard: 1, After: 2, Mode: ProcKill, Marker: "/tmp/m"}},
+		{"mode=hang;shard=0", &ProcFault{Shard: 0, Mode: ProcHang}},
+	} {
+		got, err := ParseProcFault(tc.in)
+		if err != nil {
+			t.Errorf("ParseProcFault(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseProcFault(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"mode=explode", "shard=1", "after=x;mode=exit",
+		"after=-1;mode=exit", "mode=exit;bogus=1", "noequals",
+	} {
+		if f, err := ParseProcFault(bad); err == nil {
+			t.Errorf("ParseProcFault(%q) accepted: %+v", bad, f)
+		}
+	}
+}
+
+func TestProcFaultFires(t *testing.T) {
+	var nilFault *ProcFault
+	if nilFault.Fires(0, 0) {
+		t.Error("nil fault fired")
+	}
+	f := &ProcFault{Shard: 1, After: 2, Mode: ProcExit}
+	if f.Fires(0, 5) {
+		t.Error("fault fired on the wrong shard")
+	}
+	if f.Fires(1, 1) {
+		t.Error("fault fired before its cell count")
+	}
+	if !f.Fires(1, 2) {
+		t.Error("fault did not fire at its cell count")
+	}
+	any := &ProcFault{Shard: -1, Mode: ProcExit}
+	if !any.Fires(7, 0) {
+		t.Error("any-shard fault did not fire")
+	}
+}
+
+func TestProcFaultMarkerDisarms(t *testing.T) {
+	marker := filepath.Join(t.TempDir(), "fired")
+	f := &ProcFault{Shard: -1, Mode: ProcExit, Marker: marker}
+	if !f.Fires(0, 0) {
+		t.Fatal("marker fault did not fire with no marker present")
+	}
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fires(0, 0) {
+		t.Error("marker fault fired with the marker present")
+	}
+}
+
+// TestProcFaultHelperProcess is not a test: it is the body of the child
+// process TestProcFaultExitFiresOnce launches.
+func TestProcFaultHelperProcess(t *testing.T) {
+	if os.Getenv("PROC_FAULT_HELPER") != "1" {
+		return
+	}
+	f, err := ProcFaultFromEnv()
+	if err != nil {
+		os.Exit(99)
+	}
+	if f.Fires(0, 0) {
+		f.Fire(nil)
+	}
+	os.Exit(0)
+}
+
+func TestProcFaultExitFiresOnce(t *testing.T) {
+	// A marker fault must kill the first run with the injected status and
+	// leave the relaunch untouched — the fire-once semantics the
+	// supervisor's retry path depends on.
+	marker := filepath.Join(t.TempDir(), "fired")
+	run := func() error {
+		cmd := exec.Command(os.Args[0], "-test.run=TestProcFaultHelperProcess$")
+		cmd.Env = append(os.Environ(),
+			"PROC_FAULT_HELPER=1",
+			ProcFaultEnv+"=mode=exit;marker="+marker)
+		return cmd.Run()
+	}
+	err := run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("first run did not die with the injected status: %v", err)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("fault fired without writing its marker: %v", err)
+	}
+	if err := run(); err != nil {
+		t.Fatalf("relaunch after the marker still died: %v", err)
+	}
+}

@@ -150,6 +150,51 @@ func (h *Hub) CellFailed(tok CellToken, err error) {
 	h.publish(Event{Kind: KindCellFailed, Procs: tok.procs, Attrs: attrs})
 }
 
+// ShardStarted announces a supervised shard worker launch: attempt 0 is
+// the first try, higher attempts are relaunches after a loss. Together
+// with ShardLost, ShardFinished and ShardQuarantined this lets *Hub
+// satisfy internal/shard's Monitor interface structurally — the shard
+// supervisor and the hub both live on the wall-clock plane, but keeping
+// the coupling structural means neither package imports the other.
+func (h *Hub) ShardStarted(shard, attempt, cells int) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindShardStarted, Attrs: []obs.Attr{
+		obs.Int("shard", shard), obs.Int("attempt", attempt), obs.Int("cells", cells),
+	}})
+}
+
+// ShardLost announces a shard worker death: nonzero exit, kill signal,
+// or a heartbeat gone silent.
+func (h *Hub) ShardLost(shard int, reason string) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindShardLost, Attrs: []obs.Attr{
+		obs.Int("shard", shard), obs.Str("reason", reason),
+	}})
+}
+
+// ShardFinished announces a shard task that completed cleanly.
+func (h *Hub) ShardFinished(shard int) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindShardFinished, Attrs: []obs.Attr{obs.Int("shard", shard)}})
+}
+
+// ShardQuarantined announces an axis point the supervisor gave up on
+// after retries and bisection.
+func (h *Hub) ShardQuarantined(shard, procs int, reason string) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindShardQuarantined, Procs: procs, Attrs: []obs.Attr{
+		obs.Int("shard", shard), obs.Str("reason", reason),
+	}})
+}
+
 // Progress returns the current progress snapshot.
 func (h *Hub) Progress() ProgressSnapshot {
 	if h == nil {

@@ -49,6 +49,13 @@ const (
 	KindRank        Kind = "mpi.rank"
 	KindAbort       Kind = "mpi.abort"
 
+	// Shard lifecycle kinds, published by the sharded-sweep supervisor
+	// (internal/shard) through the hub's Shard* methods.
+	KindShardStarted     Kind = "shard.started"
+	KindShardLost        Kind = "shard.lost"
+	KindShardFinished    Kind = "shard.finished"
+	KindShardQuarantined Kind = "shard.quarantined"
+
 	// KindSpan and KindEvent are the fallbacks for records the classifier
 	// does not recognise (custom workloads, future instrumentation).
 	KindSpan  Kind = "span"

@@ -15,20 +15,30 @@ type Tracer struct {
 	mu     sync.Mutex
 	spans  []Span
 	events []Event
-	ops    []metricOp
+	ops    []MetricOp
 	reg    *Registry
 }
 
-// metricOp is one metric update in recording order. Counter and
+// MetricOp is one metric update in recording order. Counter and
 // histogram accumulation is floating-point addition and therefore
 // order-sensitive; keeping the update log (rather than merging final
 // registry values) lets MergeInto rebuild a campaign registry
-// bit-identical to a sequentially-recorded one.
-type metricOp struct {
-	kind  byte // 'c' counter add, 'g' gauge set, 'o' histogram observe
-	name  string
-	value float64
+// bit-identical to a sequentially-recorded one. The op log is exported
+// (and JSON-serialisable — float64 round-trips exactly through
+// encoding/json) so journals can checkpoint a cell's metric updates and
+// a resumed campaign can replay them into its registry bit-for-bit.
+type MetricOp struct {
+	Kind  string  `json:"k"` // "c" counter add, "g" gauge set, "o" histogram observe
+	Name  string  `json:"n"`
+	Value float64 `json:"v"`
 }
+
+// Metric-op kinds.
+const (
+	OpCount   = "c"
+	OpGauge   = "g"
+	OpObserve = "o"
+)
 
 // NewTracer returns an empty tracer with a fresh registry.
 func NewTracer() *Tracer { return &Tracer{reg: NewRegistry()} }
@@ -59,7 +69,7 @@ func (t *Tracer) Count(name string, delta float64) {
 		return
 	}
 	t.mu.Lock()
-	t.ops = append(t.ops, metricOp{kind: 'c', name: name, value: delta})
+	t.ops = append(t.ops, MetricOp{Kind: OpCount, Name: name, Value: delta})
 	t.mu.Unlock()
 	t.reg.Add(name, delta)
 }
@@ -70,7 +80,7 @@ func (t *Tracer) Gauge(name string, v float64) {
 		return
 	}
 	t.mu.Lock()
-	t.ops = append(t.ops, metricOp{kind: 'g', name: name, value: v})
+	t.ops = append(t.ops, MetricOp{Kind: OpGauge, Name: name, Value: v})
 	t.mu.Unlock()
 	t.reg.SetGauge(name, v)
 }
@@ -81,7 +91,7 @@ func (t *Tracer) Observe(name string, v float64) {
 		return
 	}
 	t.mu.Lock()
-	t.ops = append(t.ops, metricOp{kind: 'o', name: name, value: v})
+	t.ops = append(t.ops, MetricOp{Kind: OpObserve, Name: name, Value: v})
 	t.mu.Unlock()
 	t.reg.Observe(name, v)
 }
@@ -116,7 +126,7 @@ func (t *Tracer) Events() []Event {
 
 // Mark is a position in a tracer's streams, used to slice out the
 // records of one unit of work (a benchmark cell) for journaling.
-type Mark struct{ spans, events int }
+type Mark struct{ spans, events, ops int }
 
 // Mark returns the current stream position.
 func (t *Tracer) Mark() Mark {
@@ -125,7 +135,7 @@ func (t *Tracer) Mark() Mark {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return Mark{spans: len(t.spans), events: len(t.events)}
+	return Mark{spans: len(t.spans), events: len(t.events), ops: len(t.ops)}
 }
 
 // Since copies every span and event recorded after m.
@@ -139,6 +149,18 @@ func (t *Tracer) Since(m Mark) ([]Span, []Event) {
 		append([]Event(nil), t.events[m.events:]...)
 }
 
+// OpsSince copies every metric update recorded after m — the companion
+// of Since for the metric-op log, so a journal can checkpoint one cell's
+// metric updates alongside its spans and events.
+func (t *Tracer) OpsSince(m Mark) []MetricOp {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]MetricOp(nil), t.ops[m.ops:]...)
+}
+
 // Replay appends previously-recorded spans and events verbatim — how a
 // resumed sweep restores the trace of journal-cached cells.
 func (t *Tracer) Replay(spans []Span, events []Event) {
@@ -149,6 +171,27 @@ func (t *Tracer) Replay(spans []Span, events []Event) {
 	t.spans = append(t.spans, spans...)
 	t.events = append(t.events, events...)
 	t.mu.Unlock()
+}
+
+// ReplayOps re-applies previously-recorded metric updates: each op is
+// appended to the op log and folded into the registry in order, so a
+// resumed campaign's registry (and anything merged out of this tracer
+// later) accumulates bit-for-bit as the uninterrupted campaign's did.
+// Metric ops carry no virtual time, so no rebasing is needed.
+func (t *Tracer) ReplayOps(ops []MetricOp) {
+	if t == nil {
+		return
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCount:
+			t.Count(op.Name, op.Value)
+		case OpGauge:
+			t.Gauge(op.Name, op.Value)
+		case OpObserve:
+			t.Observe(op.Name, op.Value)
+		}
+	}
 }
 
 // ShiftedSpans returns the recorded spans with start and end offset on
@@ -186,7 +229,7 @@ func (t *Tracer) MergeInto(dst Recorder, offset units.Seconds) {
 	t.mu.Lock()
 	spans := append([]Span(nil), t.spans...)
 	events := append([]Event(nil), t.events...)
-	ops := append([]metricOp(nil), t.ops...)
+	ops := append([]MetricOp(nil), t.ops...)
 	t.mu.Unlock()
 	for _, s := range ShiftedSpans(spans, offset) {
 		dst.Span(s)
@@ -195,13 +238,13 @@ func (t *Tracer) MergeInto(dst Recorder, offset units.Seconds) {
 		dst.Event(e)
 	}
 	for _, op := range ops {
-		switch op.kind {
-		case 'c':
-			dst.Count(op.name, op.value)
-		case 'g':
-			dst.Gauge(op.name, op.value)
-		case 'o':
-			dst.Observe(op.name, op.value)
+		switch op.Kind {
+		case OpCount:
+			dst.Count(op.Name, op.Value)
+		case OpGauge:
+			dst.Gauge(op.Name, op.Value)
+		case OpObserve:
+			dst.Observe(op.Name, op.Value)
 		}
 	}
 }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package shard
+
+import "os/exec"
+
+// isolate is a no-op where process groups are unavailable; a killed
+// worker may leave grandchildren holding the heartbeat pipe open.
+func isolate(cmd *exec.Cmd) {}
+
+// kill shoots the worker process itself.
+func kill(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package shard
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// isolate places the worker in its own process group, so that killing a
+// lost shard reaches any children it spawned. Without this, a surviving
+// grandchild keeps the heartbeat pipe's write end open and the
+// supervisor would block on a stream that can never speak again.
+func isolate(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// kill shoots the worker's whole process group.
+func kill(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	// A negative pid addresses the process group set up by isolate.
+	syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+}

@@ -50,10 +50,15 @@ type Journal struct {
 }
 
 // CellTrace is the observability stream one journaled cell produced,
-// in cell-relative virtual time (pre-v3 journals: absolute time).
+// in cell-relative virtual time (pre-v3 journals: absolute time). Ops is
+// the cell's metric-update log; replaying it on resume rebuilds the
+// campaign registry bit-for-bit, so a resumed campaign's metrics file is
+// byte-identical to the uninterrupted one. Journals written before ops
+// existed simply carry none.
 type CellTrace struct {
-	Spans  []obs.Span  `json:"spans,omitempty"`
-	Events []obs.Event `json:"events,omitempty"`
+	Spans  []obs.Span     `json:"spans,omitempty"`
+	Events []obs.Event    `json:"events,omitempty"`
+	Ops    []obs.MetricOp `json:"ops,omitempty"`
 }
 
 // journalFile is the on-disk layout. v3 adds Version and Benchmarks;
@@ -74,9 +79,12 @@ func CellKey(system string, procs int, placement, bench string) string {
 
 // OpenJournal loads the journal at path, or starts an empty one when the
 // file does not exist yet. The current layout and both legacy layouts
-// (v2: no header; v1: a bare cell map) are accepted.
+// (v2: no header; v1: a bare cell map) are accepted. Temp files a killed
+// writer left behind mid-flush are swept away — thanks to the
+// write-fsync-rename protocol they never hold the journal's only copy.
 func OpenJournal(path string) (*Journal, error) {
 	j := &Journal{path: path, cells: map[string]BenchmarkRun{}, traces: map[string]CellTrace{}}
+	removeStaleTemps(path)
 	b, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return j, nil
@@ -181,7 +189,7 @@ func (j *Journal) LookupTrace(key string) (CellTrace, bool) {
 // Call it right before Record so a crash between the two cannot strand a
 // trace.
 func (j *Journal) SetTrace(key string, tr CellTrace) {
-	if len(tr.Spans) == 0 && len(tr.Events) == 0 {
+	if len(tr.Spans) == 0 && len(tr.Events) == 0 && len(tr.Ops) == 0 {
 		return
 	}
 	j.mu.Lock()
@@ -194,6 +202,37 @@ func (j *Journal) Record(key string, run BenchmarkRun) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cells[key] = run
+	return j.flushLocked()
+}
+
+// Stage records a cell (and its trace, if any) without persisting — the
+// bulk-loading counterpart of SetTrace+Record for merging shard journal
+// segments, where one Flush at the end beats a rewrite per cell.
+func (j *Journal) Stage(key string, run BenchmarkRun, tr CellTrace) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cells[key] = run
+	if len(tr.Spans) > 0 || len(tr.Events) > 0 || len(tr.Ops) > 0 {
+		j.traces[key] = tr
+	} else {
+		delete(j.traces, key)
+	}
+}
+
+// Drop removes a cell (and its trace) without persisting — how a resumed
+// sharded sweep clears a quarantined cell so it re-runs. Call Flush to
+// persist.
+func (j *Journal) Drop(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.cells, key)
+	delete(j.traces, key)
+}
+
+// Flush persists the journal (atomically: temp file, fsync, rename).
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	return j.flushLocked()
 }
 
@@ -210,6 +249,15 @@ func (j *Journal) Remove() error {
 // flushLocked writes the journal atomically; j.mu must be held. A legacy
 // journal keeps its pre-v3 version so its absolute-time traces are never
 // misread as cell-relative ones.
+//
+// The write protocol is crash-safe: the new contents go to a temp file
+// next to the journal, are fsynced to stable storage, and only then
+// atomically renamed over the old file. A shard worker killed at any
+// instant — even mid-write or between fsync and rename — therefore
+// leaves either the previous consistent journal or the new one, never a
+// torn file. Temp names embed the journal's own filename so concurrent
+// journals in one directory (shard segments) cannot sweep each other's
+// in-flight temps.
 func (j *Journal) flushLocked() error {
 	version := journalVersion
 	if j.legacy {
@@ -224,7 +272,7 @@ func (j *Journal) flushLocked() error {
 		return err
 	}
 	dir := filepath.Dir(j.path)
-	tmp, err := os.CreateTemp(dir, ".journal-*")
+	tmp, err := os.CreateTemp(dir, tempPattern(j.path))
 	if err != nil {
 		return err
 	}
@@ -233,8 +281,32 @@ func (j *Journal) flushLocked() error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), j.path)
+}
+
+// tempPattern is the os.CreateTemp pattern for a journal's in-flight
+// writes: ".<name>.tmp-<random>" in the journal's directory.
+func tempPattern(path string) string {
+	return "." + filepath.Base(path) + ".tmp-*"
+}
+
+// removeStaleTemps sweeps temp files an earlier, killed writer of this
+// journal left behind. Best-effort: an unremovable temp costs disk, not
+// correctness.
+func removeStaleTemps(path string) {
+	pattern := filepath.Join(filepath.Dir(path), tempPattern(path))
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
 }

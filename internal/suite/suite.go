@@ -190,6 +190,13 @@ const (
 	StatusOK        Status = ""          // succeeded on the first attempt
 	StatusRecovered Status = "recovered" // succeeded after one or more retries
 	StatusFailed    Status = "failed"    // exhausted its attempts; Measurement is empty
+	// StatusQuarantined marks a cell a sharded sweep's supervisor gave up
+	// on at the process level: its shard died repeatedly (panic, SIGKILL,
+	// heartbeat loss) even after retries and bisection, so the cell was
+	// never simulated. Unlike StatusFailed — a legitimate in-simulation
+	// outcome — a quarantined cell is an artifact of the execution
+	// environment, so a later resume re-runs it instead of trusting it.
+	StatusQuarantined Status = "quarantined"
 )
 
 // BenchmarkRun is one benchmark's outcome within a suite run.
@@ -209,7 +216,9 @@ type BenchmarkRun struct {
 }
 
 // OK reports whether the benchmark produced a usable measurement.
-func (b *BenchmarkRun) OK() bool { return b.Status != StatusFailed }
+func (b *BenchmarkRun) OK() bool {
+	return b.Status != StatusFailed && b.Status != StatusQuarantined
+}
 
 // Result is a full suite run at one process count.
 type Result struct {
