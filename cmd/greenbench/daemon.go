@@ -1,0 +1,129 @@
+package main
+
+// Daemon mode: greenbench -daemon ADDR turns this process into the
+// multi-tenant campaign server (internal/campaign). Job specs arrive
+// over HTTP, each job runs in its own directory with its own journal,
+// tracer and live hub, and the whole lifecycle is observable: states,
+// progress, per-job NDJSON event streams, Prometheus metrics, reports.
+// This file only wires flags into the campaign package and supplies the
+// one thing the package cannot know — how to exec this binary as a
+// shard worker.
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/campaign"
+	"repro/internal/obs/live"
+)
+
+// runDaemon runs the campaign server until a signal (or the test stop
+// hook) asks it to shut down.
+func runDaemon(o options) error {
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	worker := o.daemonWorker
+	if worker == nil {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving worker executable: %w", err)
+		}
+		worker = func(w campaign.WorkerSpec) (*exec.Cmd, error) {
+			cmd := exec.Command(exe, daemonWorkerArgs(w)...)
+			cmd.Stderr = os.Stderr
+			return cmd, nil
+		}
+	}
+	flightCap := o.flightrecSize
+	if flightCap == 0 {
+		flightCap = live.DefaultFlightCapacity
+	}
+	mgr, err := campaign.NewManager(campaign.ManagerConfig{
+		Dir:              o.daemonDir,
+		MaxConcurrent:    o.maxJobs,
+		FlightCapacity:   flightCap,
+		Logger:           logger,
+		Worker:           worker,
+		HeartbeatTimeout: o.shardTimeout,
+		ShardRetries:     o.shardRetries,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := campaign.NewServer(campaign.ServerConfig{
+		Addr:    o.daemon,
+		Manager: mgr,
+		Logger:  logger,
+		Pprof:   o.pprof,
+	})
+	if err != nil {
+		mgr.Close()
+		return err
+	}
+	logger.Info("campaign server listening",
+		"addr", srv.Addr(), "dir", o.daemonDir, "max_jobs", o.maxJobs, "pprof", o.pprof)
+	fmt.Fprintf(os.Stderr, "campaign server on http://%s (POST /jobs; /metrics /healthz /buildinfo)\n", srv.Addr())
+	if o.onServe != nil {
+		o.onServe(srv.Addr())
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logger.Info("shutting down", "signal", sig.String())
+	case <-o.daemonStop: // nil channel (no hook) blocks forever
+		logger.Info("shutting down", "signal", "stop hook")
+	}
+	signal.Stop(sigs)
+	// Server first (no new submissions, streams end), then the manager
+	// (cancels queued jobs, lets running ones abort at a cell boundary).
+	srv.Close()
+	mgr.Close()
+	logger.Info("campaign server stopped")
+	return nil
+}
+
+// daemonWorkerArgs builds the argv of one daemon shard worker — the same
+// hidden worker-mode flags workerArgs builds for a CLI sharded sweep,
+// sourced from the job spec instead of the parent's flags.
+func daemonWorkerArgs(w campaign.WorkerSpec) []string {
+	procs := make([]string, len(w.Task.Procs))
+	for i, p := range w.Task.Procs {
+		procs[i] = strconv.Itoa(p)
+	}
+	args := []string{
+		"-shard-worker", strconv.Itoa(w.Task.Shard),
+		"-shard-axis", strings.Join(procs, ","),
+		"-journal", w.Segment,
+		"-shard-tick", w.Tick.String(),
+		"-placement", w.Placement,
+		"-bench", strings.Join(w.Benchmarks, ","),
+	}
+	if w.SpecFile != "" {
+		args = append(args, "-spec", w.SpecFile)
+	} else {
+		args = append(args, "-system", w.System)
+	}
+	if w.Traced {
+		args = append(args, "-shard-trace")
+	}
+	if w.FaultsFile != "" {
+		args = append(args, "-faults", w.FaultsFile)
+	}
+	if w.Retries > 0 {
+		args = append(args, "-retries", strconv.Itoa(w.Retries))
+	}
+	if w.TimeoutSeconds > 0 {
+		args = append(args, "-timeout", strconv.FormatFloat(w.TimeoutSeconds, 'g', -1, 64))
+	}
+	if w.CellPause > 0 {
+		args = append(args, "-cellpause", w.CellPause.String())
+	}
+	return args
+}

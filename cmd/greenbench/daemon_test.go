@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/shard"
+)
+
+// startDaemon runs greenbench -daemon in-process on an ephemeral port
+// and returns its base URL. The daemon stops (and run returns) at test
+// cleanup.
+func startDaemon(t *testing.T, o options) string {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	o.daemon = "127.0.0.1:0"
+	if o.maxJobs == 0 {
+		o.maxJobs = 2
+	}
+	o.workers = 1
+	o.daemonStop = make(chan struct{})
+	o.onServe = func(addr string) { addrCh <- addr }
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(o) }()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started serving")
+	}
+	t.Cleanup(func() {
+		close(o.daemonStop)
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	})
+	return base
+}
+
+func submitJob(t *testing.T, base string, spec campaign.JobSpec) campaign.Status {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, body)
+	}
+	var st campaign.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitJob(t *testing.T, base, id string) campaign.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: %d %s", id, resp.StatusCode, body)
+		}
+		var st campaign.Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonArtifactsMatchCLI is the byte-identity golden: the same
+// campaign submitted to the daemon and run from the CLI must produce
+// identical results, trace and metrics files. The report differs only
+// if observability state leaked between planes — compare it too.
+func TestDaemonArtifactsMatchCLI(t *testing.T) {
+	dir := t.TempDir()
+
+	// CLI run.
+	cli := options{
+		system: "testbed", sweep: true, workers: 1, placement: "cyclic",
+		out:         filepath.Join(dir, "cli.json"),
+		tracePath:   filepath.Join(dir, "cli.trace.json"),
+		metricsPath: filepath.Join(dir, "cli.metrics.json"),
+		reportPath:  filepath.Join(dir, "cli.report.txt"),
+	}
+	if err := run(cli); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same campaign through the daemon.
+	base := startDaemon(t, options{daemonDir: filepath.Join(dir, "jobs")})
+	st := submitJob(t, base, campaign.JobSpec{System: "testbed", Sweep: true})
+	st = waitJob(t, base, st.ID)
+	if st.State != campaign.StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	for _, pair := range []struct{ what, cliPath, jobFile string }{
+		{"results", cli.out, campaign.ResultsFile},
+		{"trace", cli.tracePath, campaign.TraceFile},
+		{"metrics", cli.metricsPath, campaign.MetricsFile},
+		{"report", cli.reportPath, campaign.ReportFile},
+	} {
+		mustEqualFiles(t, pair.what, pair.cliPath, filepath.Join(st.Dir, pair.jobFile))
+	}
+
+	// The report is also served over HTTP, byte-identical to the file.
+	resp, err := http.Get(base + "/jobs/" + st.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want, err := os.ReadFile(cli.reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Error("served report differs from the CLI report")
+	}
+}
+
+// TestDaemonStreamsAndCancels: two jobs at once — stream the first's
+// events mid-run, cancel the second, and watch /metrics track both.
+func TestDaemonStreamsAndCancels(t *testing.T) {
+	dir := t.TempDir()
+	base := startDaemon(t, options{daemonDir: filepath.Join(dir, "jobs"), maxJobs: 1})
+
+	first := submitJob(t, base, campaign.JobSpec{Name: "streamed", System: "testbed", Sweep: true, CellPauseMS: 20})
+	second := submitJob(t, base, campaign.JobSpec{Name: "doomed", System: "testbed"})
+	if second.State != campaign.StateQueued {
+		t.Fatalf("second job state = %s, want queued behind max-jobs 1", second.State)
+	}
+
+	// Stream the first job's events while it runs.
+	streamed := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/jobs/" + first.ID + "/events")
+		if err != nil {
+			streamed <- -1
+			return
+		}
+		defer resp.Body.Close()
+		n := 0
+		buf := make([]byte, 4096)
+		for {
+			k, err := resp.Body.Read(buf)
+			n += bytes.Count(buf[:k], []byte("\n"))
+			if err != nil {
+				break
+			}
+		}
+		streamed <- n
+	}()
+
+	// Cancel the queued job.
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+second.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE queued job: %d", resp.StatusCode)
+	}
+	if st := waitJob(t, base, second.ID); st.State != campaign.StateCancelled {
+		t.Fatalf("cancelled job state = %s", st.State)
+	}
+
+	if st := waitJob(t, base, first.ID); st.State != campaign.StateDone {
+		t.Fatalf("first job ended %s: %s", st.State, st.Error)
+	}
+	select {
+	case n := <-streamed:
+		if n <= 0 {
+			t.Fatalf("streamed %d event lines, want > 0", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("event stream did not end after the job finished")
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`campaign_jobs{state="done"} 1`,
+		`campaign_jobs{state="cancelled"} 1`,
+		"campaign_jobs_total 2",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q\n%s", want, metrics)
+		}
+	}
+}
+
+// TestDaemonShardedJobMatchesCLI runs a sharded job through the daemon
+// (workers re-enter this test binary) and checks the artefacts against
+// the plain sequential CLI run — the sharded daemon path must not change
+// a single byte either.
+func TestDaemonShardedJobMatchesCLI(t *testing.T) {
+	dir := t.TempDir()
+	seqOut, seqTrace, seqMetrics := sequentialBaseline(t, dir)
+
+	worker := func(w campaign.WorkerSpec) (*exec.Cmd, error) {
+		procs := make([]string, len(w.Task.Procs))
+		for i, p := range w.Task.Procs {
+			procs[i] = strconv.Itoa(p)
+		}
+		env, err := json.Marshal(workerEnv{
+			Shard: w.Task.Shard, Axis: strings.Join(procs, ","), Journal: w.Segment,
+			System: w.System, Bench: strings.Join(w.Benchmarks, ","), Placement: w.Placement,
+			Trace: w.Traced, Tick: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(os.Args[0], "-test.run=TestShardWorkerProcess$")
+		cmd.Env = append(os.Environ(), workerEnvVar+"="+string(env))
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+	base := startDaemon(t, options{daemonDir: filepath.Join(dir, "jobs"), daemonWorker: worker})
+	st := submitJob(t, base, campaign.JobSpec{System: "testbed", Sweep: true, Shards: 2})
+	st = waitJob(t, base, st.ID)
+	if st.State != campaign.StateDone {
+		t.Fatalf("sharded job ended %s: %s", st.State, st.Error)
+	}
+	if len(st.Shards) != 2 {
+		t.Errorf("status lists %d shards, want 2: %+v", len(st.Shards), st.Shards)
+	}
+	for _, s := range st.Shards {
+		if s.State != "finished" {
+			t.Errorf("shard %d state = %q, want finished", s.Shard, s.State)
+		}
+	}
+	mustEqualFiles(t, "results", seqOut, filepath.Join(st.Dir, campaign.ResultsFile))
+	mustEqualFiles(t, "trace", seqTrace, filepath.Join(st.Dir, campaign.TraceFile))
+	mustEqualFiles(t, "metrics", seqMetrics, filepath.Join(st.Dir, campaign.MetricsFile))
+}
+
+// TestDaemonWorkerArgsMirrorCLIWorkerArgs pins the daemon's shard-worker
+// argv to the CLI's: both front ends must drive the hidden worker mode
+// identically, or sharded daemon jobs would diverge from -shards runs.
+func TestDaemonWorkerArgsMirrorCLIWorkerArgs(t *testing.T) {
+	o := options{
+		system: "testbed", placement: "cyclic", sweep: true, shards: 2,
+		retries: 3, timeout: 9.5, cellPause: 20 * time.Millisecond,
+		faultsPath: "plan.json", tracePath: "t.json",
+		shardTimeout: 10 * time.Second,
+	}
+	benches := []string{"hpl", "stream"}
+	task := shard.Task{Shard: 1, Procs: []int{4, 8}}
+	cliArgs := workerArgs(o, benches, task, "seg.journal")
+	daemonArgs := daemonWorkerArgs(campaign.WorkerSpec{
+		Task: task, Segment: "seg.journal",
+		System: "testbed", Placement: "cyclic", Benchmarks: benches,
+		Traced: true, Retries: 3, TimeoutSeconds: 9.5,
+		CellPause: 20 * time.Millisecond, FaultsFile: "plan.json",
+		Tick: 2 * time.Second,
+	})
+	if strings.Join(cliArgs, " ") != strings.Join(daemonArgs, " ") {
+		t.Errorf("worker argv diverged:\n cli:    %v\n daemon: %v", cliArgs, daemonArgs)
+	}
+}

@@ -54,10 +54,10 @@ import (
 	"os/exec"
 	"os/signal"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/native"
@@ -110,6 +110,8 @@ func main() {
 	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this wall-clock interval (e.g. 2s; 0: off)")
 	eventsPath := flag.String("events", "", "append the live event stream to this file as NDJSON")
 	flightPath := flag.String("flightrec", "", "flight-recorder dump path on interrupt/abort (default: <out>.flightrec.json)")
+	flightrecSize := flag.Int("flightrec-size", live.DefaultFlightCapacity,
+		fmt.Sprintf("flight-recorder ring capacity in events (%d..%d)", live.MinFlightCapacity, live.MaxFlightCapacity))
 	cellPause := flag.Duration("cellpause", 0, "wall-clock pause before each sweep cell (demo/e2e pacing; virtual results unaffected)")
 	shards := flag.Int("shards", 0, "run the sweep as this many supervised worker processes (crash isolation; needs -sweep and -o/-journal)")
 	shardTimeout := flag.Duration("shard-timeout", 30*time.Second, "kill and relaunch a shard worker whose heartbeat is silent this long")
@@ -118,6 +120,10 @@ func main() {
 	shardAxis := flag.String("shard-axis", "", "internal: comma-separated process counts this worker owns (enables worker mode)")
 	shardTrace := flag.Bool("shard-trace", false, "internal: journal cell traces and metric ops in the worker")
 	shardTick := flag.Duration("shard-tick", time.Second, "internal: worker heartbeat interval")
+	daemon := flag.String("daemon", "", "run as a multi-tenant campaign server on this address (e.g. :8080; POST /jobs)")
+	daemonDir := flag.String("daemon-dir", "greenbench-jobs", "campaign server: directory for per-job journals and artefacts")
+	maxJobs := flag.Int("max-jobs", 2, "campaign server: jobs running concurrently (others queue)")
+	pprofFlag := flag.Bool("pprof", false, "campaign server: mount net/http/pprof under /debug/pprof")
 	flag.Parse()
 
 	o := options{
@@ -128,10 +134,11 @@ func main() {
 		resume: *resume, journalPath: *journalPath,
 		tracePath: *tracePath, metricsPath: *metricsPath, reportPath: *reportPath,
 		serve: *serve, progressEvery: *progressEvery, eventsPath: *eventsPath,
-		flightPath: *flightPath, cellPause: *cellPause,
+		flightPath: *flightPath, flightrecSize: *flightrecSize, cellPause: *cellPause,
 		shards: *shards, shardTimeout: *shardTimeout, shardRetries: *shardRetries,
 		shardWorker: *shardWorker, shardAxis: *shardAxis, shardTrace: *shardTrace,
 		shardTick: *shardTick,
+		daemon:    *daemon, daemonDir: *daemonDir, maxJobs: *maxJobs, pprof: *pprofFlag,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
@@ -171,6 +178,22 @@ func validateCLI(o options) error {
 	if o.shardAxis != "" && o.journalPath == "" {
 		return fmt.Errorf("-shard-axis is internal to sharded sweeps and needs -journal (run greenbench -sweep -shards N instead)")
 	}
+	if o.flightrecSize != 0 && o.flightrecSize != live.DefaultFlightCapacity {
+		if err := live.CheckFlightCapacity(o.flightrecSize); err != nil {
+			return fmt.Errorf("-flightrec-size: %v", err)
+		}
+	}
+	if o.daemon != "" {
+		if o.native {
+			return fmt.Errorf("-daemon and -native are mutually exclusive: the daemon runs simulated campaigns submitted over HTTP")
+		}
+		if o.shardAxis != "" {
+			return fmt.Errorf("-daemon and -shard-axis are mutually exclusive: a shard worker cannot also be the server")
+		}
+		if o.maxJobs < 1 {
+			return fmt.Errorf("-max-jobs must be at least 1, got %d", o.maxJobs)
+		}
+	}
 	return nil
 }
 
@@ -200,7 +223,15 @@ type options struct {
 	progressEvery time.Duration
 	eventsPath    string
 	flightPath    string
+	flightrecSize int
 	cellPause     time.Duration
+	// Campaign-server mode (wall-clock plane; see internal/campaign).
+	// A non-empty daemon address turns this invocation into the
+	// multi-tenant job server instead of running one campaign.
+	daemon    string
+	daemonDir string
+	maxJobs   int
+	pprof     bool
 	// Sharded sweeps (wall-clock plane; see internal/shard). shards > 1
 	// runs the sweep as supervised OS worker processes; a non-empty
 	// shardAxis switches this invocation into worker mode.
@@ -218,9 +249,16 @@ type options struct {
 	// interruptAfter aborts a sweep after N checkpointed cells — a test
 	// hook simulating a killed process (the journal stays behind).
 	interruptAfter int
-	// onServe, when set, receives the live server's bound address as soon
-	// as it is listening — a test hook for ephemeral-port (:0) serving.
+	// onServe, when set, receives the live (or campaign) server's bound
+	// address as soon as it is listening — a test hook for ephemeral-port
+	// (:0) serving.
 	onServe func(addr string)
+	// daemonStop, when set, shuts the daemon down when closed — a test
+	// hook standing in for SIGINT/SIGTERM.
+	daemonStop chan struct{}
+	// daemonWorker overrides the daemon's shard-worker factory — a test
+	// hook so e2e tests can re-enter the test binary.
+	daemonWorker campaign.WorkerFactory
 }
 
 // traced reports whether any observability output was requested. The
@@ -278,7 +316,11 @@ func setupLive(o options, snapshot func() obs.Snapshot) (*liveState, error) {
 	if !o.liveEnabled() {
 		return nil, nil
 	}
-	ls := &liveState{o: o, hub: live.NewHub(), stop: make(chan struct{})}
+	flightCap := o.flightrecSize
+	if flightCap == 0 {
+		flightCap = live.DefaultFlightCapacity
+	}
+	ls := &liveState{o: o, hub: live.NewHub(live.WithFlightCapacity(flightCap)), stop: make(chan struct{})}
 	if o.serve != "" {
 		srv, err := live.NewServer(o.serve, ls.hub, snapshot)
 		if err != nil {
@@ -449,6 +491,9 @@ func run(o options) error {
 	if o.native {
 		return runNative(o)
 	}
+	if o.daemon != "" {
+		return runDaemon(o)
+	}
 	benches, err := benchNames(o)
 	if err != nil {
 		return err
@@ -506,183 +551,87 @@ func run(o options) error {
 			panic(p)
 		}
 	}()
-	configure := func(p int) suite.Config {
-		cfg := suite.DefaultConfig(spec, p)
-		cfg.Placement = pl
-		cfg.Benchmarks = benches
-		cfg.Faults = plan
-		cfg.Retry = o.retryPolicy()
-		return cfg
+	cs := suite.CampaignSpec{
+		Spec:        spec,
+		Placement:   pl,
+		Benchmarks:  benches,
+		Faults:      plan,
+		Retry:       o.retryPolicy(),
+		Sweep:       sweep,
+		Procs:       procs,
+		Workers:     o.workers,
+		JournalPath: o.journalFile(),
+		Resume:      o.resume,
+		Trace:       tracer,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		Render: func(results []*suite.Result) error {
+			printResults(os.Stdout, results)
+			// campaign.Artifacts is the single results-to-disk code path,
+			// shared with the daemon: that is what makes a job submitted
+			// over HTTP byte-identical to the same campaign run here.
+			return campaign.Artifacts{
+				Results:   out,
+				Trace:     o.tracePath,
+				Metrics:   o.metricsPath,
+				Report:    o.reportPath,
+				ReportOut: os.Stdout,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			}.Write(tracer, results)
+		},
 	}
-	var results []*suite.Result
-	var journal *suite.Journal
-	if sweep {
-		axis := suite.FireSweep()
-		if spec.TotalCores() != 128 {
-			// Scale the canonical axis to this machine's core count.
-			axis = nil
-			for i := 1; i <= 8; i++ {
-				axis = append(axis, spec.TotalCores()*i/8)
-			}
-		}
-		// A sharded sweep runs the axis as supervised worker processes
-		// first, merging their journal segments (and quarantine records for
-		// cells lost to a poison shard) into the canonical journal. The
-		// ordinary resume path below then renders the campaign entirely
-		// from that journal — every cell a Lookup hit — so sharded output
-		// is byte-identical to a single-process sequential run by
-		// construction.
-		keepQuarantined := false
-		if o.shards > 1 {
-			if err := superviseShards(&o, spec, pl, benches, axis, ls); err != nil {
-				ls.dump("abort: " + err.Error())
-				return err
-			}
-			o.resume = true
-			keepQuarantined = true
-		}
-		// Checkpoint completed (procs, benchmark) cells so an interrupted
-		// sweep can resume instead of re-simulating finished work.
-		if path := o.journalFile(); path != "" {
-			if journal, err = suite.OpenJournal(path); err != nil {
-				return err
-			}
-			if err := journal.Bind(benches); err != nil {
-				return err
-			}
-			if o.workers > 1 && journal.LegacyTraces() {
-				return fmt.Errorf("journal %s stores traces in the pre-v3 absolute-time layout; resume it with -workers 1, or delete it to start over", journal.Path())
-			}
-			if o.resume && journal.Len() > 0 {
-				fmt.Fprintf(os.Stderr, "resuming: %d cell(s) already in %s\n",
-					journal.Len(), journal.Path())
-			}
-		}
-		var cells atomic.Int64
-		sweepPlan := suite.SweepPlan{
-			Axis:    axis,
-			Workers: o.workers,
-			Trace:   tracer,
-			Live:    ls.Hub(),
-			Configure: func(ctx suite.CellContext) (suite.Config, error) {
-				// A wall-clock pause paces demo and e2e runs so there is a
-				// window to watch /progress mid-campaign. It happens before
-				// the virtual simulation and cannot touch its results.
-				if o.cellPause > 0 {
-					time.Sleep(o.cellPause)
-				}
-				cfg := configure(ctx.Procs)
-				if journal == nil {
-					return cfg, nil
-				}
-				key := func(bench string) string {
-					return suite.CellKey(spec.Name, ctx.Procs, pl.String(), bench)
-				}
-				// Journaled traces are cell-relative; the cell origin
-				// rebases them onto this run's campaign clock. Legacy
-				// journals recorded absolute campaign times — replay those
-				// verbatim (the sequential schedule reproduces them).
-				origin := ctx.Origin
-				if journal.LegacyTraces() {
-					origin = 0
-				}
-				// mark fences the recorder per benchmark cell, so each
-				// cell's spans are journaled with it and replayed on resume.
-				mark := ctx.Rec.Mark()
-				if o.resume {
-					cfg.Lookup = func(bench string) (suite.BenchmarkRun, bool) {
-						run, ok := journal.Lookup(key(bench))
-						// A quarantined cell is an artifact of a lost shard
-						// worker, not a simulation outcome: a user-driven
-						// resume re-runs it. Only the sharded supervisor's
-						// own render pass keeps it cached.
-						if ok && run.Status == suite.StatusQuarantined && !keepQuarantined {
-							return suite.BenchmarkRun{}, false
-						}
-						if ok && ctx.Rec != nil {
-							if tr, hasTrace := journal.LookupTrace(key(bench)); hasTrace {
-								ctx.Rec.Replay(obs.ShiftedSpans(tr.Spans, origin),
-									obs.ShiftedEvents(tr.Events, origin))
-								ctx.Rec.ReplayOps(tr.Ops)
-								mark = ctx.Rec.Mark()
-							}
-						}
-						return run, ok
-					}
-				}
-				cfg.OnBenchmark = func(bench string, run suite.BenchmarkRun) error {
-					if ctx.Rec != nil {
-						spans, events := ctx.Rec.Since(mark)
-						ops := ctx.Rec.OpsSince(mark)
-						mark = ctx.Rec.Mark()
-						journal.SetTrace(key(bench), suite.CellTrace{
-							Spans:  obs.ShiftedSpans(spans, -ctx.Origin),
-							Events: obs.ShiftedEvents(events, -ctx.Origin),
-							Ops:    ops,
-						})
-					}
-					if err := journal.Record(key(bench), run); err != nil {
-						return err
-					}
-					if done := cells.Add(1); o.interruptAfter > 0 && done >= int64(o.interruptAfter) {
-						return fmt.Errorf("sweep interrupted after %d cell(s) (test hook)", done)
-					}
-					return nil
-				}
-				return cfg, nil
-			},
-		}
-		if results, err = suite.RunSweepPlan(sweepPlan); err != nil {
-			ls.dump("abort: " + err.Error())
-			return err
-		}
-	} else {
-		if procs == 0 {
-			procs = spec.TotalCores()
-		}
-		cfg := configure(procs)
-		if tracer != nil {
-			cfg.Trace = tracer
-		}
-		// A single run is a one-cell campaign on the live plane.
-		if hub := ls.Hub(); hub != nil {
-			cfg.Trace = hub.Tap(cfg.Trace, procs)
-			hub.SweepStarted(1, 1)
-		}
-		tok := ls.Hub().CellStarted(procs)
-		if o.cellPause > 0 {
-			time.Sleep(o.cellPause)
-		}
-		r, err := suite.Run(cfg)
-		if err != nil {
-			ls.Hub().CellFailed(tok, err)
-			ls.dump("abort: " + err.Error())
-			return err
-		}
-		var retries int
-		for _, b := range r.Runs {
-			retries += b.Retries
-		}
-		ls.Hub().CellFinished(tok, retries, r.Degraded)
-		ls.Hub().SweepFinished()
-		results = []*suite.Result{r}
+	if hub := ls.Hub(); hub != nil {
+		cs.Live = hub
 	}
+	if o.cellPause > 0 {
+		cs.PauseCell = func() { time.Sleep(o.cellPause) }
+	}
+	if o.interruptAfter > 0 {
+		cs.AfterCell = func(done int64) error {
+			if done >= int64(o.interruptAfter) {
+				return fmt.Errorf("sweep interrupted after %d cell(s) (test hook)", done)
+			}
+			return nil
+		}
+	}
+	if sweep && o.shards > 1 {
+		cs.Supervise = func(axis []int) error {
+			return superviseShards(&o, spec, pl, benches, axis, ls)
+		}
+	}
+	outcome, err := suite.RunCampaign(cs)
+	if err != nil {
+		ls.dump("abort: " + err.Error())
+		return err
+	}
+	if outcome.JournalKept != "" {
+		fmt.Fprintf(os.Stderr,
+			"%d cell(s) quarantined; journal %s kept — re-run with -resume to retry them\n",
+			outcome.Quarantined, outcome.JournalKept)
+	}
+	return nil
+}
 
+// printResults renders the per-run summary lines of a campaign.
+func printResults(w *os.File, results []*suite.Result) {
 	for _, r := range results {
 		header := fmt.Sprintf("%s procs=%d placement=%s", r.System, r.Procs, r.Placement)
 		if r.Degraded {
 			header += "  [DEGRADED]"
 		}
-		fmt.Println(header)
+		fmt.Fprintln(w, header)
 		for _, b := range r.Runs {
 			m := b.Measurement
 			if b.Status == suite.StatusQuarantined {
-				fmt.Printf("  %-7s QUARANTINED (shard worker lost): %s\n",
+				fmt.Fprintf(w, "  %-7s QUARANTINED (shard worker lost): %s\n",
 					m.Benchmark, b.Error)
 				continue
 			}
 			if !b.OK() {
-				fmt.Printf("  %-7s FAILED after %d attempt(s): %s\n",
+				fmt.Fprintf(w, "  %-7s FAILED after %d attempt(s): %s\n",
 					m.Benchmark, b.Retries+1, b.Error)
 				continue
 			}
@@ -696,91 +645,9 @@ func run(o options) error {
 				line += fmt.Sprintf("  [meter repair: %d gap(s), %d outlier(s)]",
 					b.GapsFilled, b.OutliersRejected)
 			}
-			fmt.Println(line)
+			fmt.Fprintln(w, line)
 		}
 	}
-	if out != "" {
-		if err := suite.SaveJSON(out, results); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d run(s))\n", out, len(results))
-	}
-	if err := writeObservability(o, tracer, results); err != nil {
-		return err
-	}
-	// The sweep completed and its output (if any) is safely on disk: the
-	// journal has served its purpose — unless cells were quarantined, in
-	// which case it is the handle for retrying them.
-	if journal != nil {
-		if n := countQuarantined(results); n > 0 {
-			fmt.Fprintf(os.Stderr,
-				"%d cell(s) quarantined; journal %s kept — re-run with -resume to retry them\n",
-				n, journal.Path())
-			return nil
-		}
-		if err := journal.Remove(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// countQuarantined totals the quarantined benchmark cells across results.
-func countQuarantined(results []*suite.Result) int {
-	n := 0
-	for _, r := range results {
-		for _, b := range r.Runs {
-			if b.Status == suite.StatusQuarantined {
-				n++
-			}
-		}
-	}
-	return n
-}
-
-// writeObservability emits the campaign's trace, metrics and run report
-// as requested by -trace, -metrics and -report.
-func writeObservability(o options, tracer *obs.Tracer, results []*suite.Result) error {
-	if tracer == nil {
-		return nil
-	}
-	if o.tracePath != "" {
-		if err := obs.WriteChromeTraceFile(o.tracePath, tracer.Spans(), tracer.Events()); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d span(s), %d event(s))\n",
-			o.tracePath, len(tracer.Spans()), len(tracer.Events()))
-	}
-	if o.metricsPath != "" {
-		if err := tracer.Registry().Snapshot().WriteFile(o.metricsPath); err != nil {
-			return fmt.Errorf("writing metrics: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", o.metricsPath)
-	}
-	if o.reportPath != "" {
-		title := "greenbench campaign"
-		if len(results) > 0 {
-			title = fmt.Sprintf("greenbench campaign: %s", results[0].System)
-		}
-		rep := suite.BuildReport(title, results)
-		suite.AttachPercentiles(rep, tracer.Registry().Snapshot())
-		if o.reportPath == "-" {
-			return rep.Render(os.Stdout)
-		}
-		f, err := os.Create(o.reportPath)
-		if err != nil {
-			return err
-		}
-		if err := rep.Render(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", o.reportPath)
-	}
-	return nil
 }
 
 // journalFile resolves the sweep journal path: an explicit -journal wins,

@@ -10,35 +10,30 @@ package main
 //     their axis-order merge, and the resume machinery that turns the
 //     merged journal into results/trace/metrics byte-identical to a
 //     single-process sequential run.
-//   - This file glues them: builds worker argv, seeds segments on
-//     resume, records quarantined cells, and bridges shard lifecycle
-//     events onto the live telemetry plane.
+//   - internal/campaign glues them (SuperviseShards): seeds segments on
+//     resume, merges worker segments, records quarantined cells. It is
+//     shared with the daemon, so CLI and server shard jobs behave
+//     identically.
+//   - This file keeps what only the CLI knows: worker argv construction
+//     and the bridge from shard lifecycle events onto the live plane.
 
 import (
 	"fmt"
 	"os"
 	"os/exec"
-	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
 	"repro/internal/shard"
 	"repro/internal/suite"
 )
-
-// segmentPath names shard i's journal segment next to the canonical
-// journal.
-func segmentPath(journal string, i int) string {
-	return fmt.Sprintf("%s.shard-%d", journal, i)
-}
 
 // shardMonitor bridges supervisor lifecycle events to the live plane and
 // dumps the flight recorder when a shard is lost — the post-mortem ring
@@ -73,56 +68,6 @@ func superviseShards(o *options, spec *cluster.Spec, pl cluster.Placement, bench
 	if path == "" {
 		return fmt.Errorf("-shards needs a checkpoint journal: pass -o or -journal")
 	}
-	journal, err := suite.OpenJournal(path)
-	if err != nil {
-		return err
-	}
-	if err := journal.Bind(benches); err != nil {
-		return err
-	}
-	if journal.LegacyTraces() {
-		return fmt.Errorf("journal %s stores traces in the pre-v3 absolute-time layout and cannot seed shard segments; resume it with -workers 1 first, or delete it to start over", journal.Path())
-	}
-
-	tasks := shard.Partition(axis, o.shards)
-	segments := make([]string, len(tasks))
-	for i, t := range tasks {
-		segments[i] = segmentPath(path, t.Shard)
-		if !o.resume {
-			// A fresh campaign must not inherit cells from an abandoned one.
-			if err := os.Remove(segments[i]); err != nil && !os.IsNotExist(err) {
-				return err
-			}
-			continue
-		}
-		// On resume, seed each segment with the cells the canonical journal
-		// already holds for its procs, so relaunched workers skip them.
-		// Quarantined records are not seeded: a user-driven resume re-runs
-		// those cells.
-		seg, err := suite.OpenJournal(segments[i])
-		if err != nil {
-			return err
-		}
-		if err := seg.Bind(benches); err != nil {
-			return err
-		}
-		for _, p := range t.Procs {
-			for _, b := range benches {
-				key := suite.CellKey(spec.Name, p, pl.String(), b)
-				if _, ok := seg.Lookup(key); ok {
-					continue
-				}
-				if run, ok := journal.Lookup(key); ok && run.Status != suite.StatusQuarantined {
-					tr, _ := journal.LookupTrace(key)
-					seg.Stage(key, run, tr)
-				}
-			}
-		}
-		if err := seg.Flush(); err != nil {
-			return err
-		}
-	}
-
 	start := o.workerCommand
 	if start == nil {
 		exe, err := os.Executable()
@@ -135,86 +80,23 @@ func superviseShards(o *options, spec *cluster.Spec, pl cluster.Placement, bench
 			return cmd, nil
 		}
 	}
-	rep, err := shard.Run(shard.Spec{
-		Tasks: tasks,
-		Start: func(t shard.Task) (*exec.Cmd, error) {
-			return start(t, segments[t.Shard])
-		},
+	return campaign.SuperviseShards(campaign.ShardPlan{
+		JournalPath:      path,
+		Spec:             spec,
+		Placement:        pl,
+		Benchmarks:       benches,
+		Axis:             axis,
+		Shards:           o.shards,
+		Resume:           o.resume,
+		Start:            start,
 		HeartbeatTimeout: o.shardTimeout,
 		MaxRetries:       o.shardRetries,
 		Log:              os.Stderr,
 		Monitor:          shardMonitor{hub: ls.Hub(), ls: ls},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
-	if err != nil {
-		return err
-	}
-
-	// Merge whatever the workers checkpointed, in deterministic axis
-	// order; reopen each segment so the workers' writes are visible.
-	var segs []*suite.Journal
-	for _, p := range segments {
-		if _, err := os.Stat(p); os.IsNotExist(err) {
-			continue
-		}
-		seg, err := suite.OpenJournal(p)
-		if err != nil {
-			return fmt.Errorf("reading shard segment: %w", err)
-		}
-		segs = append(segs, seg)
-	}
-	missing, err := suite.MergeShardJournals(journal, segs, spec.Name, pl.String(), axis, benches)
-	if err != nil {
-		return err
-	}
-
-	// Cells no segment supplied must all belong to quarantined axis
-	// points; record them explicitly so the campaign degrades to a
-	// partial result instead of failing.
-	reasons := map[int]string{}
-	for _, q := range rep.Quarantined {
-		reasons[q.Procs] = q.Reason
-	}
-	missingSet := map[string]bool{}
-	for _, key := range missing {
-		missingSet[key] = true
-	}
-	quarantined := 0
-	for _, p := range axis {
-		reason, ok := reasons[p]
-		if !ok {
-			continue
-		}
-		for _, b := range benches {
-			key := suite.CellKey(spec.Name, p, pl.String(), b)
-			if !missingSet[key] {
-				continue // the worker checkpointed it before dying
-			}
-			journal.Stage(key, quarantinedRun(b, reason), suite.CellTrace{})
-			delete(missingSet, key)
-			quarantined++
-		}
-	}
-	if len(missingSet) > 0 {
-		var keys []string
-		for key := range missingSet {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		return fmt.Errorf("shard workers finished without checkpointing %d cell(s): %s", len(keys), strings.Join(keys, ", "))
-	}
-	if err := journal.Flush(); err != nil {
-		return err
-	}
-	for _, p := range segments {
-		os.Remove(p) // merged; the canonical journal holds everything now
-	}
-
-	fmt.Fprintf(os.Stderr, "sharded sweep: %d worker launch(es), %d loss(es); merged %d segment(s) into %s\n",
-		rep.Launches, rep.Losses, len(segs), journal.Path())
-	if quarantined > 0 {
-		fmt.Fprintf(os.Stderr, "sharded sweep: %d cell(s) quarantined after retries and bisection\n", quarantined)
-	}
-	return nil
 }
 
 // workerArgs builds the argv of one shard worker: the hidden worker-mode
@@ -261,22 +143,6 @@ func workerArgs(o options, benches []string, t shard.Task, segment string) []str
 		args = append(args, "-cellpause", o.cellPause.String())
 	}
 	return args
-}
-
-// quarantinedRun is the journal record for a cell lost to a poison
-// shard: no measurement, status quarantined, the supervisor's reason as
-// the error. OK() is false, so the rendered campaign is Degraded and TGI
-// over it covers only the surviving cells.
-func quarantinedRun(benchName, reason string) suite.BenchmarkRun {
-	m := core.Measurement{Benchmark: benchName}
-	if w, ok := bench.Lookup(benchName); ok {
-		m.Metric = w.Metric()
-	}
-	return suite.BenchmarkRun{
-		Measurement: m,
-		Status:      suite.StatusQuarantined,
-		Error:       reason,
-	}
 }
 
 // parseAxis decodes the worker's -shard-axis value.

@@ -225,6 +225,11 @@ func TestValidateCLI(t *testing.T) {
 		{"shards without sweep", options{workers: 1, shards: 2, out: "x.json"}, "-sweep"},
 		{"shards without journal", options{workers: 1, shards: 2, sweep: true}, "journal"},
 		{"worker axis without journal", options{workers: 1, shardAxis: "1,2"}, "-journal"},
+		{"flightrec-size too small", options{workers: 1, flightrecSize: 1}, "-flightrec-size"},
+		{"flightrec-size too large", options{workers: 1, flightrecSize: 1 << 30}, "-flightrec-size"},
+		{"daemon with native", options{workers: 1, daemon: ":0", native: true, maxJobs: 1}, "-native"},
+		{"daemon as shard worker", options{workers: 1, daemon: ":0", shardAxis: "1,2", journalPath: "j", maxJobs: 1}, "-shard-axis"},
+		{"daemon zero max-jobs", options{workers: 1, daemon: ":0"}, "-max-jobs"},
 	} {
 		err := validateCLI(tc.o)
 		if err == nil {

@@ -98,13 +98,16 @@ var deterministicPkgs = []string{
 //   - Deterministic packages (sim, suite, bench, core, mpirt, power,
 //     series) and the root package obey every analyzer and must not
 //     import internal/obs/live or net/http.
-//   - internal/obs/live, internal/shard, cmd/* and examples/*
-//     legitimately touch the wall clock, so detclock is off there (as it
-//     is in _test.go files, which the loader never parses).
+//   - internal/obs/live, internal/shard, internal/campaign, cmd/* and
+//     examples/* legitimately touch the wall clock, so detclock is off
+//     there (as it is in _test.go files, which the loader never parses).
 //   - internal/shard is the crash-isolation layer: it may spawn worker
 //     processes (os/exec) and watch the wall clock, but deterministic
 //     packages must not import it — nor os/exec — so everything that
 //     decides bytes stays process-free.
+//   - internal/campaign is the multi-tenant job layer (the daemon):
+//     wall-clock by nature, forbidden to the deterministic core just
+//     like the live plane and the shard supervisor.
 //   - internal/stats and internal/units host the approved tolerance
 //     helpers, so floateq is off inside them.
 //   - No internal package may import a cmd.
@@ -112,12 +115,13 @@ func DefaultConfig() Config {
 	all := analyzerNames()
 	noClock := []string{"detrand", "maporder", "floateq", "layering"}
 	noFloat := []string{"detclock", "detrand", "maporder", "layering"}
-	detForbid := []string{"repro/internal/obs/live", "repro/internal/shard", "os/exec", "net/http", "repro/cmd/..."}
+	detForbid := []string{"repro/internal/obs/live", "repro/internal/shard", "repro/internal/campaign", "os/exec", "net/http", "repro/cmd/..."}
 	internalForbid := []string{"repro/cmd/..."}
 
 	pkgs := []Rules{
 		{Match: "repro/internal/obs/live", Analyzers: noClock, ForbidImports: internalForbid},
 		{Match: "repro/internal/shard", Analyzers: noClock, ForbidImports: internalForbid},
+		{Match: "repro/internal/campaign", Analyzers: noClock, ForbidImports: internalForbid},
 		{Match: "repro/internal/stats", Analyzers: noFloat, ForbidImports: internalForbid},
 		{Match: "repro/internal/units", Analyzers: noFloat, ForbidImports: internalForbid},
 	}

@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fastJob is the quickest real campaign: one benchmark at one point on
+// the smallest built-in system.
+func fastJob() JobSpec {
+	return JobSpec{System: "testbed", Benchmarks: []string{"hpl"}, Procs: 2}
+}
+
+// slowJob paces each sweep cell so tests can observe (and cancel) a job
+// mid-run.
+func slowJob() JobSpec {
+	return JobSpec{System: "testbed", Sweep: true, CellPauseMS: 50}
+}
+
+func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s stuck in state %s", j.ID(), j.State())
+	}
+}
+
+func TestManagerRunsJobToDone(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	j, err := m.Submit(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "job-0001" {
+		t.Errorf("first job ID = %q", j.ID())
+	}
+	waitDone(t, j)
+	if st := j.State(); st != StateDone {
+		t.Fatalf("state = %s, want done (error: %s)", st, j.Status().Error)
+	}
+	// Every artefact of the isolated job directory must exist: the job
+	// always runs traced.
+	for _, name := range []string{ResultsFile, TraceFile, MetricsFile, ReportFile} {
+		if _, err := os.Stat(filepath.Join(j.Dir(), name)); err != nil {
+			t.Errorf("artefact %s missing: %v", name, err)
+		}
+	}
+	st := j.Status()
+	if st.StartedAt == nil || st.FinishedAt == nil {
+		t.Error("done job missing started/finished timestamps")
+	}
+	if st.Progress.CellsTotal != 1 || st.Progress.CellsDone != 1 {
+		t.Errorf("progress = %+v, want 1/1 cells", st.Progress)
+	}
+	if len(st.Artifacts) != 4 {
+		t.Errorf("status lists artefacts %v, want 4", st.Artifacts)
+	}
+}
+
+func TestManagerQueuesBeyondMaxConcurrent(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{MaxConcurrent: 1})
+	first, err := m.Submit(slowJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Submit(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.State(); st != StateQueued {
+		t.Fatalf("second job state = %s, want queued behind the first", st)
+	}
+	if d := m.QueueDepth(); d != 1 {
+		t.Fatalf("queue depth = %d, want 1", d)
+	}
+	waitDone(t, first)
+	waitDone(t, second)
+	if st := second.State(); st != StateDone {
+		t.Fatalf("second job state = %s, want done", st)
+	}
+}
+
+func TestManagerCancelQueuedJob(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{MaxConcurrent: 1})
+	if _, err := m.Submit(slowJob()); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, queued)
+	if st := queued.State(); st != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st)
+	}
+	// Cancelling a finished job is a structured conflict.
+	_, err = m.Cancel(queued.ID())
+	var se *SpecError
+	if !errors.As(err, &se) || se.Reason != ReasonJobFinished {
+		t.Fatalf("second cancel: %v, want reason %s", err, ReasonJobFinished)
+	}
+}
+
+func TestManagerCancelRunningJobDumpsFlight(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	j, err := m.Submit(slowJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running, then cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != StateRunning && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st)
+	}
+	if _, err := os.Stat(filepath.Join(j.Dir(), FlightFile)); err != nil {
+		t.Errorf("cancelled running job left no flight dump: %v", err)
+	}
+	if !j.CancelRequested() {
+		t.Error("CancelRequested not recorded")
+	}
+}
+
+func TestManagerRejectsWhenQueueFull(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{MaxConcurrent: 1, MaxQueued: 1})
+	if _, err := m.Submit(slowJob()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(slowJob()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Submit(fastJob())
+	var se *SpecError
+	if !errors.As(err, &se) || se.Reason != ReasonQueueFull {
+		t.Fatalf("overfull submit: %v, want reason %s", err, ReasonQueueFull)
+	}
+}
+
+func TestManagerRejectsShardedJobWithoutWorkerFactory(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	_, err := m.Submit(JobSpec{System: "testbed", Sweep: true, Shards: 2})
+	var se *SpecError
+	if !errors.As(err, &se) || se.Reason != ReasonNoWorkerFactory {
+		t.Fatalf("sharded submit: %v, want reason %s", err, ReasonNoWorkerFactory)
+	}
+}
+
+func TestManagerCloseCancelsEverything(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{MaxConcurrent: 1})
+	running, err := m.Submit(slowJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if st := queued.State(); st != StateCancelled {
+		t.Errorf("queued job state after Close = %s, want cancelled", st)
+	}
+	if st := running.State(); !st.Terminal() {
+		t.Errorf("running job state after Close = %s, want terminal", st)
+	}
+	_, err = m.Submit(fastJob())
+	var se *SpecError
+	if !errors.As(err, &se) || se.Reason != ReasonShuttingDown {
+		t.Fatalf("submit after Close: %v, want reason %s", err, ReasonShuttingDown)
+	}
+}
+
+func TestManagerRejectsBadFlightCapacity(t *testing.T) {
+	_, err := NewManager(ManagerConfig{Dir: t.TempDir(), FlightCapacity: 3})
+	if err == nil {
+		t.Fatal("out-of-range flight capacity accepted")
+	}
+}
+
+func TestManagerCustomFlightCapacity(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{FlightCapacity: 64})
+	j, err := m.Submit(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.State(); st != StateDone {
+		t.Fatalf("state = %s, want done", st)
+	}
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/suite"
+)
+
+func TestResolveRejectsBadSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		spec   JobSpec
+		reason string
+	}{
+		{"negative procs", JobSpec{Procs: -1}, ReasonBadSpec},
+		{"negative workers", JobSpec{Workers: -2}, ReasonBadSpec},
+		{"negative shards", JobSpec{Shards: -1}, ReasonBadSpec},
+		{"negative retries", JobSpec{Retries: -3}, ReasonBadSpec},
+		{"negative timeout", JobSpec{TimeoutSeconds: -1}, ReasonBadSpec},
+		{"negative cell pause", JobSpec{CellPauseMS: -10}, ReasonBadSpec},
+		{"shards without sweep", JobSpec{Shards: 2}, ReasonBadSpec},
+		{"unknown system", JobSpec{System: "cray"}, ReasonUnknownSystem},
+		{"unknown placement", JobSpec{Placement: "random"}, ReasonBadSpec},
+		{"unknown benchmark", JobSpec{Benchmarks: []string{"linpack9000"}}, ReasonUnknownBenchmark},
+		{"bad inline spec", JobSpec{Spec: &cluster.Spec{Name: "broken"}}, ReasonBadSpec},
+	} {
+		js := tc.spec
+		_, err := js.resolve()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *SpecError", tc.name, err)
+			continue
+		}
+		if se.Reason != tc.reason {
+			t.Errorf("%s: reason %q, want %q", tc.name, se.Reason, tc.reason)
+		}
+	}
+}
+
+func TestResolveDefaults(t *testing.T) {
+	js := JobSpec{}
+	r, err := js.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.spec.Name != cluster.Fire().Name {
+		t.Errorf("default system = %q, want fire", r.spec.Name)
+	}
+	if r.systemName != "fire" {
+		t.Errorf("systemName = %q, want fire", r.systemName)
+	}
+	if r.placement != cluster.Cyclic {
+		t.Errorf("default placement = %v, want cyclic", r.placement)
+	}
+	if !reflect.DeepEqual(r.benchmarks, suite.PaperOrder()) {
+		t.Errorf("default benchmarks = %v, want the paper's", r.benchmarks)
+	}
+	if r.retry.MaxAttempts != 1 {
+		t.Errorf("default retry attempts = %d, want 1", r.retry.MaxAttempts)
+	}
+}
+
+func TestResolveExpandsBenchmarkKeywords(t *testing.T) {
+	js := JobSpec{Benchmarks: []string{"extended"}}
+	r, err := js.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.benchmarks, suite.ExtendedOrder) {
+		t.Errorf("extended benchmarks = %v, want %v", r.benchmarks, suite.ExtendedOrder)
+	}
+	js = JobSpec{Benchmarks: []string{"paper"}}
+	r, err = js.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.benchmarks, suite.PaperOrder()) {
+		t.Errorf("paper benchmarks = %v, want %v", r.benchmarks, suite.PaperOrder())
+	}
+}
+
+func TestResolveError(t *testing.T) {
+	js := JobSpec{System: "cray"}
+	_, err := js.resolve()
+	if err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if !strings.Contains(err.Error(), "cray") {
+		t.Errorf("error %q does not name the system", err)
+	}
+	var se *SpecError
+	if errors.As(err, &se) && se.Unwrap() == nil {
+		t.Error("SpecError.Unwrap returned nil")
+	}
+}
+
+func TestStatesAreExhaustiveAndOrdered(t *testing.T) {
+	states := States()
+	if states[0] != StateQueued || states[1] != StateRunning {
+		t.Fatalf("States() = %v: lifecycle order broken", states)
+	}
+	terminal := 0
+	for _, s := range states {
+		if s.Terminal() {
+			terminal++
+		}
+	}
+	if terminal != 4 {
+		t.Fatalf("%d terminal states, want 4 (done, failed, cancelled, quarantined)", terminal)
+	}
+	if StateQueued.Terminal() || StateRunning.Terminal() {
+		t.Fatal("queued/running must not be terminal")
+	}
+}

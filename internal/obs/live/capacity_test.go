@@ -1,0 +1,128 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckFlightCapacityBounds(t *testing.T) {
+	for _, n := range []int{MinFlightCapacity, 100, DefaultFlightCapacity, MaxFlightCapacity} {
+		if err := CheckFlightCapacity(n); err != nil {
+			t.Errorf("CheckFlightCapacity(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{-1, 0, 1, MinFlightCapacity - 1, MaxFlightCapacity + 1} {
+		err := CheckFlightCapacity(n)
+		if err == nil {
+			t.Errorf("CheckFlightCapacity(%d) accepted", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), strconv.Itoa(n)) {
+			t.Errorf("CheckFlightCapacity(%d) error %q does not name the value", n, err)
+		}
+	}
+}
+
+func TestWithFlightCapacitySizesTheRing(t *testing.T) {
+	hub := NewHub(WithFlightCapacity(MinFlightCapacity))
+	for i := 0; i < MinFlightCapacity*3; i++ {
+		hub.SweepStarted(1, 1)
+	}
+	events := hub.FlightEvents()
+	if len(events) != MinFlightCapacity {
+		t.Fatalf("flight ring holds %d events, want %d", len(events), MinFlightCapacity)
+	}
+	// The ring keeps the newest events; the last sequence must be the
+	// total published.
+	if last := events[len(events)-1].Seq; last != uint64(MinFlightCapacity*3) {
+		t.Fatalf("last retained seq = %d, want %d", last, MinFlightCapacity*3)
+	}
+}
+
+func TestNewHubPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHub accepted an out-of-range flight capacity")
+		}
+	}()
+	NewHub(WithFlightCapacity(1))
+}
+
+// TestServerMetricsReflectDroppedEvents pins the full drop-accounting
+// chain: a deliberately slow subscriber loses events, the loss shows on
+// its own counter and the bus total, and /metrics exposes it.
+func TestServerMetricsReflectDroppedEvents(t *testing.T) {
+	srv, hub, _ := startTestServer(t)
+	slow := hub.Bus().Subscribe(2) // tiny buffer, never drained
+	defer slow.Close()
+	const published = 100
+	for i := 0; i < published; i++ {
+		hub.SweepStarted(1, 1)
+	}
+	wantDropped := uint64(published - 2)
+	if got := slow.Dropped(); got != wantDropped {
+		t.Fatalf("subscriber dropped = %d, want %d", got, wantDropped)
+	}
+	if got := hub.Bus().Dropped(); got != wantDropped {
+		t.Fatalf("bus dropped = %d, want %d", got, wantDropped)
+	}
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	want := fmt.Sprintf("live_events_dropped %d", wantDropped)
+	if !strings.Contains(body, want) {
+		t.Fatalf("metrics missing %q\n%s", want, body)
+	}
+}
+
+// TestServerCloseDoesNotLeakStreamGoroutines is the shutdown-leak check:
+// open event streams must end and their handler goroutines exit when the
+// server closes, and closing twice must be safe.
+func TestServerCloseDoesNotLeakStreamGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	hub := NewHub()
+	srv, err := NewServer("127.0.0.1:0", hub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 4
+	done := make(chan struct{}, streams)
+	for i := 0; i < streams; i++ {
+		resp, err := http.Get("http://" + srv.Addr() + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			done <- struct{}{}
+		}()
+	}
+	hub.SweepStarted(1, 1) // traffic on the streams before shutdown
+	srv.Close()
+	srv.Close() // idempotent
+	for i := 0; i < streams; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stream %d still open after Close", i)
+		}
+	}
+	// The handler goroutines are waited on by Close itself; give the
+	// client-side readers a moment to unwind, then compare.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -20,9 +21,58 @@ type Hub struct {
 	now  func() time.Time
 }
 
-// NewHub returns a hub on the wall clock with the default flight-recorder
-// capacity.
-func NewHub() *Hub { return NewHubAt(time.Now, DefaultFlightCapacity) }
+// HubOption customises a hub at construction.
+type HubOption func(*hubConfig)
+
+type hubConfig struct {
+	now       func() time.Time
+	flightCap int
+}
+
+// WithFlightCapacity sets the flight-recorder ring size. The value must
+// satisfy CheckFlightCapacity; NewHub panics otherwise, so validate
+// user-supplied sizes first.
+func WithFlightCapacity(n int) HubOption {
+	return func(c *hubConfig) { c.flightCap = n }
+}
+
+// WithClock pins the hub's wall clock — tests use it to make snapshots
+// deterministic.
+func WithClock(now func() time.Time) HubOption {
+	return func(c *hubConfig) { c.now = now }
+}
+
+// Flight-recorder capacity bounds: below the floor a dump is too thin to
+// post-mortem anything, above the ceiling the "bounded ring" stops being
+// bounded in any useful sense.
+const (
+	MinFlightCapacity = 16
+	MaxFlightCapacity = 1 << 20
+)
+
+// CheckFlightCapacity validates a user-supplied flight-recorder size.
+func CheckFlightCapacity(n int) error {
+	if n < MinFlightCapacity || n > MaxFlightCapacity {
+		return fmt.Errorf("flight-recorder capacity %d out of range: want between %d and %d events",
+			n, MinFlightCapacity, MaxFlightCapacity)
+	}
+	return nil
+}
+
+// NewHub returns a hub on the wall clock. Options override the clock and
+// the flight-recorder capacity (default DefaultFlightCapacity).
+func NewHub(opts ...HubOption) *Hub {
+	c := hubConfig{now: time.Now, flightCap: DefaultFlightCapacity}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.flightCap != DefaultFlightCapacity {
+		if err := CheckFlightCapacity(c.flightCap); err != nil {
+			panic("live: " + err.Error())
+		}
+	}
+	return NewHubAt(c.now, c.flightCap)
+}
 
 // NewHubAt builds a hub with an injectable clock and flight capacity —
 // tests pin the clock to make snapshots deterministic.
@@ -204,6 +254,16 @@ func (h *Hub) Progress() ProgressSnapshot {
 	s.EventsPublished = h.fr.Total()
 	s.EventsDropped = h.bus.Dropped()
 	return s
+}
+
+// FlightEvents returns the flight recorder's retained events in append
+// order (oldest first) — the replay prefix of a late-joining event
+// stream. Nil on a nil hub.
+func (h *Hub) FlightEvents() []Event {
+	if h == nil {
+		return nil
+	}
+	return h.fr.Events()
 }
 
 // DumpFlight writes the flight-recorder ring to path. No-op (nil error)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -27,6 +28,26 @@ type Server struct {
 	ln       net.Listener
 	srv      *http.Server
 	shutdown chan struct{}
+
+	mu        sync.Mutex // guards closing
+	closing   bool
+	streams   sync.WaitGroup // open /events handlers
+	closeOnce sync.Once
+}
+
+// trackStream registers an open /events handler with the close
+// bookkeeping. It refuses (false) once Close has begun — the handler
+// must not start streaming — and otherwise the handler owes a
+// streams.Done(). The closing flag and the WaitGroup share a mutex so a
+// handler can never Add after Close's Wait has started.
+func (s *Server) trackStream() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.streams.Add(1)
+	return true
 }
 
 // NewServer starts serving on addr (":0" picks an ephemeral port) and
@@ -53,10 +74,20 @@ func NewServer(addr string, hub *Hub, snapshot func() obs.Snapshot) (*Server, er
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server, ending any open /events streams.
+// Close stops the server, ends any open /events streams, and waits for
+// their handlers to return — after Close no server goroutine survives.
+// Safe to call more than once.
 func (s *Server) Close() error {
-	close(s.shutdown)
-	return s.srv.Close()
+	var err error
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		s.mu.Unlock()
+		close(s.shutdown)
+		err = s.srv.Close()
+		s.streams.Wait()
+	})
+	return err
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +121,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no live hub", http.StatusServiceUnavailable)
 		return
 	}
+	if !s.trackStream() {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.streams.Done()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)

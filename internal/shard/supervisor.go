@@ -2,8 +2,10 @@ package shard
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os/exec"
 	"sort"
 	"sync"
@@ -54,6 +56,10 @@ type Spec struct {
 	Backoff time.Duration
 	// Log, when non-nil, receives one line per supervision event.
 	Log io.Writer
+	// Logger, when non-nil, receives the same supervision events as
+	// structured records (the campaign server threads its NDJSON slog
+	// handler through here). Log and Logger are independent sinks.
+	Logger *slog.Logger
 	// Monitor, when non-nil, receives shard lifecycle events.
 	Monitor Monitor
 }
@@ -96,6 +102,14 @@ func (s *supervisor) logf(format string, args ...any) {
 	s.mu.Lock()
 	fmt.Fprintf(s.spec.Log, "shard: "+format+"\n", args...)
 	s.mu.Unlock()
+}
+
+// slog emits a structured supervision record when a Logger is attached.
+func (s *supervisor) slog(level slog.Level, msg string, args ...any) {
+	if s.spec.Logger == nil {
+		return
+	}
+	s.spec.Logger.Log(context.Background(), level, msg, args...)
 }
 
 // Run supervises every task to completion or quarantine. It returns a
@@ -159,6 +173,8 @@ func (s *supervisor) supervise(t Task) error {
 			time.Sleep(s.spec.Backoff << (attempt - 1))
 			s.logf("shard %d: relaunching (attempt %d of %d) after: %s",
 				t.Shard, attempt+1, s.spec.MaxRetries+1, lastLoss)
+			s.slog(slog.LevelInfo, "shard relaunching",
+				"shard", t.Shard, "attempt", attempt+1, "max_attempts", s.spec.MaxRetries+1, "reason", lastLoss)
 		}
 		if m := s.spec.Monitor; m != nil {
 			m.ShardStarted(t.Shard, attempt, len(t.Procs))
@@ -178,6 +194,8 @@ func (s *supervisor) supervise(t Task) error {
 		s.losses++
 		s.mu.Unlock()
 		s.logf("shard %d: lost worker (procs %v): %s", t.Shard, t.Procs, loss)
+		s.slog(slog.LevelWarn, "shard worker lost",
+			"shard", t.Shard, "procs", fmt.Sprint(t.Procs), "reason", loss)
 		if m := s.spec.Monitor; m != nil {
 			m.ShardLost(t.Shard, loss)
 		}
@@ -193,6 +211,8 @@ func (s *supervisor) supervise(t Task) error {
 		right := Task{Shard: t.Shard, Procs: t.Procs[mid:]}
 		s.logf("shard %d: retries exhausted; bisecting %v into %v and %v",
 			t.Shard, t.Procs, left.Procs, right.Procs)
+		s.slog(slog.LevelInfo, "shard bisecting",
+			"shard", t.Shard, "left", fmt.Sprint(left.Procs), "right", fmt.Sprint(right.Procs))
 		if err := s.supervise(left); err != nil {
 			return err
 		}
@@ -203,6 +223,8 @@ func (s *supervisor) supervise(t Task) error {
 	s.quarantined = append(s.quarantined, q)
 	s.mu.Unlock()
 	s.logf("shard %d: quarantining poison cell procs=%d: %s", t.Shard, q.Procs, q.Reason)
+	s.slog(slog.LevelWarn, "shard cell quarantined",
+		"shard", t.Shard, "procs", q.Procs, "reason", q.Reason)
 	if m := s.spec.Monitor; m != nil {
 		m.ShardQuarantined(t.Shard, q.Procs, q.Reason)
 	}
