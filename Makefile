@@ -33,17 +33,20 @@ check: build vet lint test race fmt-check
 
 # Benchmark the hot paths (engine dispatch, trace repair, suite sweep)
 # and keep the machine-readable trajectory in BENCH_obs.json; then run
-# the same full-axis campaign on one worker and on four, side by side,
-# into BENCH_sweep.json — the scheduler's wall-clock win, measured.
+# the scheduler's cells×workers matrix (the paper's 9-cell axis plus a
+# 32-cell production axis, each at 1/2/4/8 workers) alongside the
+# classic sequential-vs-4-workers pair into BENCH_sweep.json. The
+# -benchtime counts are pinned so successive runs are comparable;
+# allocation counters come from b.ReportAllocs() in the benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineDispatch|BenchmarkRepair|BenchmarkSweep' \
 		-benchtime 1x -json \
 		./internal/sim ./internal/series ./internal/suite > BENCH_obs.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | sed 's/"Output":"//' || true
-	$(GO) test -run '^$$' -bench 'BenchmarkSweepAxis(Sequential|Parallel)' \
-		-benchtime 3x -json \
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepAxis(Sequential|Parallel)|BenchmarkSweepMatrix' \
+		-benchtime 10x -json \
 		./internal/suite > BENCH_sweep.json
-	@grep -o '"Output":"BenchmarkSweepAxis[^"]*' BENCH_sweep.json | sed 's/"Output":"//' || true
+	@grep -o '"Output":"BenchmarkSweep[^"]*' BENCH_sweep.json | sed 's/"Output":"//' || true
 	$(GO) test -run '^$$' -bench 'BenchmarkBusPublish|BenchmarkTapSpan|BenchmarkHubProgress' \
 		-benchtime 100000x -json \
 		./internal/obs/live > BENCH_live.json

@@ -107,6 +107,17 @@ func TestMapOrderFixture(t *testing.T) {
 	runFixture(t, "maporder", analysis.Rules{Match: "fixture/maporder", Analyzers: []string{"maporder"}})
 }
 
+func TestEventPoolFixture(t *testing.T) {
+	// The pooled-event arena pattern from internal/sim's hot path,
+	// checked under both walls at once: map-drained heap rebuilds and
+	// global-rand pool scrambling are flagged, the free-list and
+	// collect-then-sort idioms are not.
+	runFixture(t, "eventpool", analysis.Rules{
+		Match:     "fixture/eventpool",
+		Analyzers: []string{"maporder", "detrand"},
+	})
+}
+
 func TestFloatEqFixture(t *testing.T) {
 	runFixture(t, "floateq", analysis.Rules{Match: "fixture/floateq", Analyzers: []string{"floateq"}})
 }

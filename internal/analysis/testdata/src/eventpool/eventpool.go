@@ -1,0 +1,104 @@
+// Fixture for the pooled-event scheduler pattern: a generation-checked
+// free-list arena addressed by an index heap, as internal/sim's hot
+// path uses. The deterministic walls hold against its tempting
+// shortcuts — draining a map of pending events leaks iteration order
+// into the schedule, and "spreading out" pool reuse or event times
+// with global math/rand is a hidden seed. The intrusive free-list,
+// seq-numbered tie-break and collect-then-sort idioms pass clean.
+package eventpool
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type event struct {
+	at  float64
+	seq uint64
+	gen uint32
+	fn  func()
+}
+
+type pool struct {
+	arena []event
+	free  []int32
+	heap  []int32
+	seq   uint64
+}
+
+// alloc pops the free list or grows the arena — pure LIFO recycling,
+// no randomness, so replays are exact.
+func (p *pool) alloc(at float64, fn func()) int32 {
+	var idx int32
+	if n := len(p.free); n > 0 {
+		idx = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		p.arena = append(p.arena, event{})
+		idx = int32(len(p.arena) - 1)
+	}
+	e := &p.arena[idx]
+	e.at, e.fn = at, fn
+	e.seq = p.seq
+	e.gen++
+	p.seq++
+	return idx
+}
+
+// badDrainPending rebuilds the heap from a map of pending events: the
+// heap's sift order then depends on map iteration order, so two runs
+// schedule tied events differently.
+func badDrainPending(p *pool, pending map[int32]float64) {
+	for idx := range pending { // want "map iteration order appends to a slice"
+		p.heap = append(p.heap, idx)
+	}
+}
+
+// badScrambleFree "spreads wear" across the arena with the global
+// generator — an unseeded draw that changes which slot every later
+// Schedule hands out.
+func badScrambleFree(p *pool) {
+	rand.Shuffle(len(p.free), func(i, j int) { // want "global math/rand draw rand.Shuffle"
+		p.free[i], p.free[j] = p.free[j], p.free[i]
+	})
+}
+
+// badJitter perturbs an event time from the global generator.
+func badJitter(p *pool, idx int32) {
+	p.arena[idx].at += rand.Float64() // want "global math/rand draw rand.Float64"
+}
+
+// okDrainSorted is the deterministic rebuild: collect the map's keys,
+// sort, then push in index order.
+func okDrainSorted(p *pool, pending map[int32]float64) {
+	idxs := make([]int32, 0, len(pending))
+	for idx := range pending {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	p.heap = append(p.heap, idxs...)
+}
+
+// okSeededJitter draws from an explicitly seeded local generator — a
+// pure function of the seed, so replays still agree.
+func okSeededJitter(p *pool, idx int32, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	p.arena[idx].at += r.Float64()
+}
+
+// okOrderInsensitive folds the map into a scalar; no order escapes.
+func okOrderInsensitive(pending map[int32]float64) float64 {
+	var sum float64
+	for _, at := range pending {
+		sum += at
+	}
+	return sum
+}
+
+// okAllowed carries a justified suppression through the wall.
+func okAllowed(p *pool, pending map[int32]float64) {
+	//greenvet:allow maporder -- fixture: heap is re-sifted before use, order irrelevant
+	for idx := range pending {
+		p.heap = append(p.heap, idx)
+	}
+}

@@ -81,17 +81,26 @@ type Workload interface {
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Workload{}
-	order    []string // registration order, for stable listings
+	// canonical indexes workloads by their exact canonical name, so the
+	// hot path — the suite runner resolves each cell's steps by canonical
+	// name — looks up without folding (and without allocating).
+	canonical = map[string]Workload{}
+	order     []string // registration order, for stable listings
 )
 
 // normalize folds a benchmark name for lookup: lower-cased with
 // separators removed, so "hpl", "HPL", "randomaccess" and "b_eff"/"beff"
-// all resolve.
+// all resolve. Already-folded names pass through without allocating.
 func normalize(name string) string {
-	s := strings.ToLower(name)
-	s = strings.ReplaceAll(s, "_", "")
-	s = strings.ReplaceAll(s, "-", "")
-	return s
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c == '_' || c == '-' || ('A' <= c && c <= 'Z') {
+			s := strings.ToLower(name)
+			s = strings.ReplaceAll(s, "_", "")
+			s = strings.ReplaceAll(s, "-", "")
+			return s
+		}
+	}
+	return name
 }
 
 // Register adds a workload to the registry. Registering a second
@@ -104,6 +113,7 @@ func Register(w Workload) {
 		panic(fmt.Sprintf("bench: workload %q registered twice", w.Name()))
 	}
 	registry[key] = w
+	canonical[w.Name()] = w
 	order = append(order, w.Name())
 }
 
@@ -112,6 +122,9 @@ func Register(w Workload) {
 func Lookup(name string) (Workload, bool) {
 	regMu.RLock()
 	defer regMu.RUnlock()
+	if w, ok := canonical[name]; ok {
+		return w, true
+	}
 	w, ok := registry[normalize(name)]
 	return w, ok
 }
@@ -128,21 +141,36 @@ func Names() []string {
 // Resolve canonicalises an ordered benchmark list against the registry,
 // rejecting unknown names and duplicates with one descriptive error.
 func Resolve(names []string) ([]string, error) {
+	if err := Validate(names); err != nil {
+		return nil, err
+	}
 	out := make([]string, 0, len(names))
-	seen := map[string]bool{}
 	for _, name := range names {
-		w, ok := Lookup(name)
-		if !ok {
-			return nil, fmt.Errorf("bench: unknown benchmark %q (registered: %s)",
-				name, strings.Join(Names(), ", "))
-		}
-		if seen[w.Name()] {
-			return nil, fmt.Errorf("bench: benchmark %q listed twice", w.Name())
-		}
-		seen[w.Name()] = true
+		w, _ := Lookup(name)
 		out = append(out, w.Name())
 	}
 	return out, nil
+}
+
+// Validate checks an ordered benchmark list the way Resolve does —
+// every name registered, no duplicates after canonicalisation — without
+// building the canonical list. Config validation runs once per sweep
+// cell, so the accept path must not allocate; suite lists are a handful
+// of names, making the quadratic duplicate scan cheaper than a map.
+func Validate(names []string) error {
+	for i, name := range names {
+		w, ok := Lookup(name)
+		if !ok {
+			return fmt.Errorf("bench: unknown benchmark %q (registered: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		for j := 0; j < i; j++ {
+			if prev, _ := Lookup(names[j]); prev == w {
+				return fmt.Errorf("bench: benchmark %q listed twice", w.Name())
+			}
+		}
+	}
+	return nil
 }
 
 // PaperOrder returns the paper's three benchmarks in run order.

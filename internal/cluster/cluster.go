@@ -194,13 +194,28 @@ func (p Placement) String() string {
 // the number of processes on each node. Nodes with zero processes are idle
 // but still powered (the whole cluster sits behind the wall meter).
 func (s *Spec) Distribute(procs int, pl Placement) ([]int, error) {
+	return s.DistributeInto(procs, pl, nil)
+}
+
+// DistributeInto is Distribute filling a caller-provided buffer when it
+// has the capacity (hot sweep loops recycle one buffer per worker); a
+// nil or too-small buf allocates as Distribute does.
+func (s *Spec) DistributeInto(procs int, pl Placement, buf []int) ([]int, error) {
 	if procs <= 0 {
 		return nil, errors.New("cluster: process count must be positive")
 	}
 	if procs > s.TotalCores() {
 		return nil, fmt.Errorf("cluster: %d processes exceed %d cores", procs, s.TotalCores())
 	}
-	out := make([]int, s.Nodes)
+	var out []int
+	if cap(buf) >= s.Nodes {
+		out = buf[:s.Nodes]
+		for i := range out {
+			out[i] = 0
+		}
+	} else {
+		out = make([]int, s.Nodes)
+	}
 	perNode := s.Node.Cores()
 	switch pl {
 	case Block:

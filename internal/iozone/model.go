@@ -4,12 +4,25 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/units"
 )
+
+// desScratch is a reusable discrete-event stack: an engine plus the
+// backend bound to it. Sweeps call Simulate once per cell, and building
+// the stack fresh each time dominated the cell's allocation budget;
+// Reset/Reconfigure restore both to freshly-constructed state, so a
+// recycled stack simulates bit-identically to a new one.
+type desScratch struct {
+	eng *sim.Engine
+	be  *storage.Backend
+}
+
+var desPool = sync.Pool{New: func() any { return &desScratch{} }}
 
 // ModelConfig drives the simulated-cluster IOzone write test.
 type ModelConfig struct {
@@ -96,16 +109,25 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 	var makespan float64
 	var engStats sim.Stats
 	if shared {
-		eng := sim.NewEngine(cfg.EventLimit)
-		eng.SetHooks(cfg.Hooks)
-		be, err := storage.NewBackend(eng, cfg.Spec.Storage.AggregateBps, cfg.Spec.Storage.PerClientBps)
-		if err != nil {
-			return nil, err
+		sc := desPool.Get().(*desScratch)
+		defer desPool.Put(sc)
+		if sc.eng == nil {
+			freshEng := sim.NewEngine(cfg.EventLimit)
+			be, err := storage.NewBackend(freshEng, cfg.Spec.Storage.AggregateBps, cfg.Spec.Storage.PerClientBps)
+			if err != nil {
+				return nil, err
+			}
+			sc.eng, sc.be = freshEng, be
+		} else {
+			sc.eng.Reset(cfg.EventLimit)
+			if err := sc.be.Reconfigure(cfg.Spec.Storage.AggregateBps, cfg.Spec.Storage.PerClientBps); err != nil {
+				return nil, err
+			}
 		}
-		finish := make([]float64, cfg.Nodes)
+		eng, be := sc.eng, sc.be
+		eng.SetHooks(cfg.Hooks)
 		for i := 0; i < cfg.Nodes; i++ {
-			i := i
-			if err := be.SubmitWrite(fileBytes, func() { finish[i] = float64(eng.Now()) }); err != nil {
+			if err := be.SubmitWrite(fileBytes, nil); err != nil {
 				return nil, err
 			}
 		}
@@ -113,11 +135,9 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 			return nil, err
 		}
 		engStats = eng.Stats()
-		for _, f := range finish {
-			if f > makespan {
-				makespan = f
-			}
-		}
+		// The queue only ever holds completion events, so after RunAll the
+		// virtual clock sits at the last client's finish time: the makespan.
+		makespan = float64(eng.Now())
 	} else {
 		// Local disks: each node streams at its own disk bandwidth.
 		makespan = fileBytes / cfg.Spec.Node.Disk.BandwidthBps
@@ -131,28 +151,28 @@ func Simulate(cfg ModelConfig) (*ModelResult, error) {
 	// Load profile. Disk/net utilisation from the achieved per-node rate;
 	// a small CPU cost per process issuing I/O.
 	perNodeRate := agg / float64(cfg.Nodes)
-	dist := make([]int, cfg.Spec.Nodes)
 	base := procs / cfg.Nodes
 	extra := procs % cfg.Nodes
-	for i := 0; i < cfg.Nodes; i++ {
-		dist[i] = base
-		if i < extra {
-			dist[i]++
-		}
-		if dist[i] == 0 {
-			dist[i] = 1
-		}
-	}
 	cores := cfg.Spec.Node.Cores()
 	phase := cluster.Phase{
 		Duration: units.Seconds(makespan),
 		NodeUtil: make([]cluster.Util, cfg.Spec.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
+		// Round-robin process placement: the first procs%nodes client
+		// nodes carry one extra process, and every client runs at least
+		// one.
+		d := base
+		if i < extra {
+			d++
+		}
+		if d == 0 {
+			d = 1
+		}
 		// Each writer process costs ~8% of one core; expressed as a
 		// fraction of the node's total CPU.
 		u := cluster.Util{
-			CPU: math.Min(1, 0.08*float64(dist[i])/float64(cores)),
+			CPU: math.Min(1, 0.08*float64(d)/float64(cores)),
 		}
 		if shared {
 			u.Net = perNodeRate / cfg.Spec.Node.NIC.BandwidthBps

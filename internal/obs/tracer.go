@@ -6,16 +6,76 @@ import (
 	"repro/internal/units"
 )
 
+// chunkCap is the fixed capacity of one arena chunk. Appends fill the
+// current chunk and start a fresh one when it is full, so growth is
+// amortized without ever copying previously-recorded elements — the
+// re-copy churn of a single growing slice is what made the tracer the
+// sweep scheduler's allocation hot spot.
+const chunkCap = 256
+
+// arena is an append-only chunked store. Elements are addressed by their
+// global index (the order they were appended), which is what a Mark
+// records; every chunk but the last is full, so index arithmetic is a
+// divide and a modulo by a constant.
+type arena[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+func (a *arena[T]) push(v T) {
+	i := a.n / chunkCap
+	if i == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, 0, chunkCap))
+	}
+	a.chunks[i] = append(a.chunks[i], v)
+	a.n++
+}
+
+// copyRange appends elements [from, to) to dst in one pre-sized copy.
+func (a *arena[T]) copyRange(dst []T, from, to int) []T {
+	if to > a.n {
+		to = a.n
+	}
+	if from >= to {
+		return dst
+	}
+	if dst == nil {
+		dst = make([]T, 0, to-from)
+	}
+	for i := from / chunkCap; i*chunkCap < to; i++ {
+		lo, hi := 0, len(a.chunks[i])
+		if base := i * chunkCap; base < from {
+			lo = from - base
+		}
+		if base := i * chunkCap; base+hi > to {
+			hi = to - base
+		}
+		dst = append(dst, a.chunks[i][lo:hi]...)
+	}
+	return dst
+}
+
+// each calls f for every element in [from, to) in append order — the
+// zero-copy view the merge path walks.
+func (a *arena[T]) each(from, to int, f func(*T)) {
+	if to > a.n {
+		to = a.n
+	}
+	for i := from; i < to; i++ {
+		f(&a.chunks[i/chunkCap][i%chunkCap])
+	}
+}
+
 // Tracer is the standard Recorder: it collects spans and events in
-// memory (append-only, mutex-protected) and folds metric updates into a
-// Registry. A nil *Tracer is valid and discards everything, so call
-// sites can thread one `*Tracer` field through unconditionally and the
-// disabled path stays provably inert.
+// memory (append-only, mutex-protected, chunked-arena backed) and folds
+// metric updates into a Registry. A nil *Tracer is valid and discards
+// everything, so call sites can thread one `*Tracer` field through
+// unconditionally and the disabled path stays provably inert.
 type Tracer struct {
 	mu     sync.Mutex
-	spans  []Span
-	events []Event
-	ops    []MetricOp
+	spans  arena[Span]
+	events arena[Event]
+	ops    arena[MetricOp]
 	reg    *Registry
 }
 
@@ -49,7 +109,7 @@ func (t *Tracer) Span(s Span) {
 		return
 	}
 	t.mu.Lock()
-	t.spans = append(t.spans, s)
+	t.spans.push(s)
 	t.mu.Unlock()
 }
 
@@ -59,7 +119,7 @@ func (t *Tracer) Event(e Event) {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, e)
+	t.events.push(e)
 	t.mu.Unlock()
 }
 
@@ -69,7 +129,7 @@ func (t *Tracer) Count(name string, delta float64) {
 		return
 	}
 	t.mu.Lock()
-	t.ops = append(t.ops, MetricOp{Kind: OpCount, Name: name, Value: delta})
+	t.ops.push(MetricOp{Kind: OpCount, Name: name, Value: delta})
 	t.mu.Unlock()
 	t.reg.Add(name, delta)
 }
@@ -80,7 +140,7 @@ func (t *Tracer) Gauge(name string, v float64) {
 		return
 	}
 	t.mu.Lock()
-	t.ops = append(t.ops, MetricOp{Kind: OpGauge, Name: name, Value: v})
+	t.ops.push(MetricOp{Kind: OpGauge, Name: name, Value: v})
 	t.mu.Unlock()
 	t.reg.SetGauge(name, v)
 }
@@ -91,7 +151,7 @@ func (t *Tracer) Observe(name string, v float64) {
 		return
 	}
 	t.mu.Lock()
-	t.ops = append(t.ops, MetricOp{Kind: OpObserve, Name: name, Value: v})
+	t.ops.push(MetricOp{Kind: OpObserve, Name: name, Value: v})
 	t.mu.Unlock()
 	t.reg.Observe(name, v)
 }
@@ -111,7 +171,7 @@ func (t *Tracer) Spans() []Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Span(nil), t.spans...)
+	return t.spans.copyRange(nil, 0, t.spans.n)
 }
 
 // Events returns a copy of the recorded events in recording order.
@@ -121,11 +181,12 @@ func (t *Tracer) Events() []Event {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	return t.events.copyRange(nil, 0, t.events.n)
 }
 
 // Mark is a position in a tracer's streams, used to slice out the
-// records of one unit of work (a benchmark cell) for journaling.
+// records of one unit of work (a benchmark cell) for journaling or for
+// the sweep scheduler's per-cell merge ranges.
 type Mark struct{ spans, events, ops int }
 
 // Mark returns the current stream position.
@@ -135,18 +196,20 @@ func (t *Tracer) Mark() Mark {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return Mark{spans: len(t.spans), events: len(t.events), ops: len(t.ops)}
+	return Mark{spans: t.spans.n, events: t.events.n, ops: t.ops.n}
 }
 
-// Since copies every span and event recorded after m.
+// Since copies every span and event recorded after m. The copies are the
+// caller's to retain (journals checkpoint them), so this is the copying
+// counterpart of the zero-copy MergeRangeInto view.
 func (t *Tracer) Since(m Mark) ([]Span, []Event) {
 	if t == nil {
 		return nil, nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Span(nil), t.spans[m.spans:]...),
-		append([]Event(nil), t.events[m.events:]...)
+	return t.spans.copyRange(nil, m.spans, t.spans.n),
+		t.events.copyRange(nil, m.events, t.events.n)
 }
 
 // OpsSince copies every metric update recorded after m — the companion
@@ -158,7 +221,7 @@ func (t *Tracer) OpsSince(m Mark) []MetricOp {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]MetricOp(nil), t.ops[m.ops:]...)
+	return t.ops.copyRange(nil, m.ops, t.ops.n)
 }
 
 // Replay appends previously-recorded spans and events verbatim — how a
@@ -168,8 +231,12 @@ func (t *Tracer) Replay(spans []Span, events []Event) {
 		return
 	}
 	t.mu.Lock()
-	t.spans = append(t.spans, spans...)
-	t.events = append(t.events, events...)
+	for _, s := range spans {
+		t.spans.push(s)
+	}
+	for _, e := range events {
+		t.events.push(e)
+	}
 	t.mu.Unlock()
 }
 
@@ -223,21 +290,38 @@ func ShiftedEvents(events []Event, offset units.Seconds) []Event {
 // including the order-sensitive floating-point accumulation of counters
 // and histogram sums, which replaying final values could not guarantee.
 func (t *Tracer) MergeInto(dst Recorder, offset units.Seconds) {
+	if t == nil {
+		return
+	}
+	t.MergeRangeInto(dst, Mark{}, t.Mark(), offset)
+}
+
+// MergeRangeInto replays the records between marks from and to — one
+// cell of a batched sweep, delimited by Mark calls around its run — into
+// dst with all virtual times shifted by offset. The records stream out
+// of the arenas one value at a time: nothing is copied or retained, so
+// the axis-order merge of a parallel sweep allocates nothing at all.
+//
+// The shift happens on the stack copy handed to dst; the tracer's own
+// records are never mutated, and dst must not record back into t.
+func (t *Tracer) MergeRangeInto(dst Recorder, from, to Mark, offset units.Seconds) {
 	if t == nil || dst == nil {
 		return
 	}
 	t.mu.Lock()
-	spans := append([]Span(nil), t.spans...)
-	events := append([]Event(nil), t.events...)
-	ops := append([]MetricOp(nil), t.ops...)
-	t.mu.Unlock()
-	for _, s := range ShiftedSpans(spans, offset) {
+	defer t.mu.Unlock()
+	t.spans.each(from.spans, to.spans, func(sp *Span) {
+		s := *sp
+		s.Start += offset
+		s.End += offset
 		dst.Span(s)
-	}
-	for _, e := range ShiftedEvents(events, offset) {
+	})
+	t.events.each(from.events, to.events, func(ep *Event) {
+		e := *ep
+		e.At += offset
 		dst.Event(e)
-	}
-	for _, op := range ops {
+	})
+	t.ops.each(from.ops, to.ops, func(op *MetricOp) {
 		switch op.Kind {
 		case OpCount:
 			dst.Count(op.Name, op.Value)
@@ -246,5 +330,5 @@ func (t *Tracer) MergeInto(dst Recorder, offset units.Seconds) {
 		case OpObserve:
 			dst.Observe(op.Name, op.Value)
 		}
-	}
+	})
 }

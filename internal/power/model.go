@@ -137,10 +137,19 @@ func (m *Model) PeakPower() units.Watts {
 // cluster power signal, emitting one sample at each phase boundary (both
 // sides, so trapezoidal integration is exact).
 func (m *Model) ProfileTrace(lp *cluster.LoadProfile) (*series.Trace, error) {
+	return m.ProfileTraceInto(lp, series.New(2*len(lp.Phases)))
+}
+
+// ProfileTraceInto is ProfileTrace evaluating into tr, which is reset
+// first and returned. Reusing one trace across evaluations keeps the
+// meter's hot path (one exact signal per benchmark attempt) free of
+// per-call sample allocations; the samples are identical to a fresh
+// ProfileTrace's.
+func (m *Model) ProfileTraceInto(lp *cluster.LoadProfile, tr *series.Trace) (*series.Trace, error) {
 	if err := lp.Validate(m.Spec); err != nil {
 		return nil, err
 	}
-	tr := series.New(2 * len(lp.Phases))
+	tr.Reset()
 	var at units.Seconds
 	for _, ph := range lp.Phases {
 		p := m.ClusterPower(ph.NodeUtil)
@@ -176,6 +185,13 @@ type Meter struct {
 	cfg    MeterConfig
 	rec    obs.Recorder
 	origin units.Seconds
+	// exact is internal scratch for Measure's piecewise-constant signal;
+	// it never escapes the meter, so reusing it is always safe.
+	exact *series.Trace
+	// out is the sampled-trace scratch, reused only after ReuseSampleBuffer
+	// opted in (the returned trace then aliases it).
+	out   *series.Trace
+	reuse bool
 }
 
 // Instrument attaches an observability recorder: every sampling window
@@ -190,29 +206,60 @@ func (mt *Meter) SetOrigin(at units.Seconds) { mt.origin = at }
 
 // NewMeter validates the configuration and returns a meter.
 func NewMeter(cfg MeterConfig) (*Meter, error) {
-	if cfg.Interval <= 0 {
-		return nil, errors.New("power: meter interval must be positive")
-	}
-	if cfg.QuantumWatts < 0 || cfg.NoiseStdDev < 0 {
-		return nil, errors.New("power: negative meter quantum or noise")
-	}
-	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
-		return nil, fmt.Errorf("power: drop rate %v outside [0, 1)", cfg.DropRate)
-	}
-	if cfg.GlitchRate < 0 || cfg.GlitchRate >= 1 {
-		return nil, fmt.Errorf("power: glitch rate %v outside [0, 1)", cfg.GlitchRate)
-	}
-	if cfg.GlitchWatts < 0 {
-		return nil, fmt.Errorf("power: negative glitch magnitude %v", cfg.GlitchWatts)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return &Meter{cfg: cfg}, nil
 }
+
+// validate checks the meter configuration's parameters.
+func (cfg MeterConfig) validate() error {
+	if cfg.Interval <= 0 {
+		return errors.New("power: meter interval must be positive")
+	}
+	if cfg.QuantumWatts < 0 || cfg.NoiseStdDev < 0 {
+		return errors.New("power: negative meter quantum or noise")
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return fmt.Errorf("power: drop rate %v outside [0, 1)", cfg.DropRate)
+	}
+	if cfg.GlitchRate < 0 || cfg.GlitchRate >= 1 {
+		return fmt.Errorf("power: glitch rate %v outside [0, 1)", cfg.GlitchRate)
+	}
+	if cfg.GlitchWatts < 0 {
+		return fmt.Errorf("power: negative glitch magnitude %v", cfg.GlitchWatts)
+	}
+	return nil
+}
+
+// Reconfigure resets the meter to the state NewMeter(cfg) would return —
+// recorder detached, origin zero — while keeping its sample buffers.
+// Recycling one meter across the cells of a sweep is how the scheduler's
+// per-worker scratch avoids re-growing the buffers for every cell;
+// sampling behaviour is bit-identical to a freshly-constructed meter's.
+func (mt *Meter) Reconfigure(cfg MeterConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	mt.cfg, mt.rec, mt.origin = cfg, nil, 0
+	return nil
+}
+
+// ReuseSampleBuffer opts the meter into recycling the sampled-trace
+// buffer: after this call, a trace returned by Sample or Measure is only
+// valid until the next Sample or Measure call. Callers that fold each
+// trace into scalars before measuring again (the suite runner) opt in;
+// everyone else keeps the retain-forever default.
+func (mt *Meter) ReuseSampleBuffer() { mt.reuse = true }
 
 // Measure samples the exact signal of model×profile the way the physical
 // meter would: fixed-interval sampling, quantisation, gauge noise, optional
 // sample loss. The returned trace covers the whole profile duration.
 func (mt *Meter) Measure(model *Model, lp *cluster.LoadProfile) (*series.Trace, error) {
-	exact, err := model.ProfileTrace(lp)
+	if mt.exact == nil {
+		mt.exact = series.New(2 * len(lp.Phases))
+	}
+	exact, err := model.ProfileTraceInto(lp, mt.exact)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +273,15 @@ func (mt *Meter) Sample(exact *series.Trace) (*series.Trace, error) {
 		return nil, err
 	}
 	rng := sim.NewRNG(mt.cfg.Seed)
-	out := series.New(int(float64(end-start)/float64(mt.cfg.Interval)) + 2)
+	out := mt.out
+	if mt.reuse && out != nil {
+		out.Reset()
+	} else {
+		out = series.New(int(float64(end-start)/float64(mt.cfg.Interval)) + 2)
+		if mt.reuse {
+			mt.out = out
+		}
+	}
 	dropped, glitched := 0, 0
 	for at := start; ; at += mt.cfg.Interval {
 		clamped := at

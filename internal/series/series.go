@@ -64,6 +64,12 @@ func (t *Trace) Append(at units.Seconds, p units.Watts) error {
 // Len returns the number of samples.
 func (t *Trace) Len() int { return len(t.samples) }
 
+// Reset empties the trace in place, keeping its sample storage so a
+// hot loop (the sweep scheduler's per-worker meter scratch) can refill
+// it without reallocating. Any Samples() slice previously handed out
+// aliases the storage and is invalidated.
+func (t *Trace) Reset() { t.samples = t.samples[:0] }
+
 // Samples returns the underlying samples. The slice must not be mutated.
 func (t *Trace) Samples() []Sample { return t.samples }
 

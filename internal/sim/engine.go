@@ -8,40 +8,22 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
 	"repro/internal/units"
 )
 
-// Event is a scheduled callback.
+// event is one arena slot. Slots are recycled through a free list; gen
+// distinguishes the current occupant from a stale Handle to a previous
+// one, and pos tracks the slot's position in the heap so cancellation
+// can remove it in O(log n) without boxing or lazy dead-marking.
 type event struct {
-	at   units.Seconds
-	seq  uint64
-	fn   func()
-	dead bool
-}
-
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at { //greenvet:allow floateq -- event-queue comparator: exact virtual-time tie broken by sequence number
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	at  units.Seconds
+	seq uint64
+	fn  func()
+	gen uint32
+	pos int32 // index in Engine.heap; -1 when the slot is free
 }
 
 // Hooks receives engine lifecycle callbacks — the observability layer's
@@ -63,10 +45,17 @@ type Hooks struct {
 	ResourceContended func(at units.Seconds, active int)
 }
 
-// Engine drives the virtual clock.
+// Engine drives the virtual clock. The event queue is an intrusive
+// min-heap of indices into a pooled event arena: scheduling an event
+// reuses a free arena slot instead of allocating, and heap operations
+// move plain int32 indices — no per-event allocation, no interface
+// boxing. Slots are generation-checked so a Handle kept past its
+// event's dispatch cannot cancel the slot's next occupant.
 type Engine struct {
 	now       units.Seconds
-	queue     eventQueue
+	arena     []event
+	heap      []int32 // arena indices ordered by (at, seq)
+	free      []int32 // recycled arena slots
 	seq       uint64
 	events    uint64
 	limit     uint64
@@ -82,6 +71,31 @@ func NewEngine(limit uint64) *Engine {
 		limit = 50_000_000
 	}
 	return &Engine{limit: limit}
+}
+
+// Reset returns the engine to its initial state — clock at zero, queue
+// empty, counters cleared — while keeping the event arena and heap
+// storage for reuse. A reset engine behaves exactly like a fresh
+// NewEngine(limit); recycling one across independent simulations is how
+// the sweep scheduler's per-worker scratch avoids re-growing the arena
+// for every cell.
+func (e *Engine) Reset(limit uint64) {
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	for i := range e.arena {
+		e.arena[i].fn = nil
+		e.arena[i].pos = -1
+		e.arena[i].gen++
+	}
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := range e.arena {
+		e.free = append(e.free, int32(i))
+	}
+	e.now, e.seq, e.events, e.peakDepth = 0, 0, 0, 0
+	e.limit = limit
+	e.hooks = nil
 }
 
 // Now returns the current virtual time.
@@ -118,13 +132,25 @@ func (e *Engine) Stats() Stats {
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+type Handle struct {
+	eng *Engine
+	idx int32
+	gen uint32
+}
 
-// Cancel marks the event dead; it will be skipped when popped.
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired, been cancelled, or belongs to a zero Handle is a no-op:
+// the generation check recognises a recycled arena slot and leaves its
+// new occupant alone.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	if h.eng == nil {
+		return
 	}
+	ev := &h.eng.arena[h.idx]
+	if ev.gen != h.gen || ev.pos < 0 {
+		return
+	}
+	h.eng.removeAt(int(ev.pos))
 }
 
 // ErrPast is returned when an event is scheduled before the current time.
@@ -136,18 +162,97 @@ var ErrPast = errors.New("sim: event scheduled in the past")
 // timed out rather than broken.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
+// less orders heap entries by (time, sequence): the engine's FIFO
+// tie-break for simultaneous events.
+func (e *Engine) less(i, j int32) bool {
+	a, b := &e.arena[i], &e.arena[j]
+	if a.at != b.at { //greenvet:allow floateq -- event-queue comparator: exact virtual-time tie broken by sequence number
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// place writes heap slot pos and keeps the arena's back-pointer in sync.
+func (e *Engine) place(pos int, idx int32) {
+	e.heap[pos] = idx
+	e.arena[idx].pos = int32(pos)
+}
+
+// siftUp restores the heap property upward from pos.
+func (e *Engine) siftUp(pos int) {
+	idx := e.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !e.less(idx, e.heap[parent]) {
+			break
+		}
+		e.place(pos, e.heap[parent])
+		pos = parent
+	}
+	e.place(pos, idx)
+}
+
+// siftDown restores the heap property downward from pos.
+func (e *Engine) siftDown(pos int) {
+	idx := e.heap[pos]
+	n := len(e.heap)
+	for {
+		child := 2*pos + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && e.less(e.heap[r], e.heap[child]) {
+			child = r
+		}
+		if !e.less(e.heap[child], idx) {
+			break
+		}
+		e.place(pos, e.heap[child])
+		pos = child
+	}
+	e.place(pos, idx)
+}
+
+// removeAt deletes the heap entry at pos and recycles its arena slot.
+func (e *Engine) removeAt(pos int) {
+	idx := e.heap[pos]
+	last := len(e.heap) - 1
+	moved := e.heap[last]
+	e.heap = e.heap[:last]
+	if pos < last {
+		e.place(pos, moved)
+		e.siftDown(pos)
+		e.siftUp(pos)
+	}
+	ev := &e.arena[idx]
+	ev.fn = nil
+	ev.pos = -1
+	ev.gen++
+	e.free = append(e.free, idx)
+}
+
 // At schedules fn to run at absolute virtual time at.
 func (e *Engine) At(at units.Seconds, fn func()) (Handle, error) {
 	if at < e.now {
 		return Handle{}, fmt.Errorf("%w: %v < now %v", ErrPast, at, e.now)
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{pos: -1})
+		idx = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[idx]
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	if d := len(e.queue); d > e.peakDepth {
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	if d := len(e.heap); d > e.peakDepth {
 		e.peakDepth = d
 	}
-	return Handle{ev: ev}, nil
+	return Handle{eng: e, idx: idx, gen: ev.gen}, nil
 }
 
 // After schedules fn to run delay seconds from now.
@@ -160,28 +265,27 @@ func (e *Engine) After(delay units.Seconds, fn func()) (Handle, error) {
 
 // Step processes the next event. It returns false when the queue is empty.
 func (e *Engine) Step() (bool, error) {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		if e.events >= e.limit {
-			// Name the virtual time and queue state so a tripped backstop
-			// is diagnosable: a runaway loop shows a frozen clock, a
-			// genuinely huge workload a steadily advancing one.
-			return false, fmt.Errorf(
-				"%w: %d events dispatched (limit %d) at virtual time t=%v with %d still pending",
-				ErrEventLimit, e.events, e.limit, e.now, e.queue.Len()+1)
-		}
-		e.events++
-		e.now = ev.at
-		if h := e.hooks; h != nil && h.EventDispatched != nil {
-			h.EventDispatched(ev.at, e.queue.Len())
-		}
-		ev.fn()
-		return true, nil
+	if len(e.heap) == 0 {
+		return false, nil
 	}
-	return false, nil
+	if e.events >= e.limit {
+		// Name the virtual time and queue state so a tripped backstop
+		// is diagnosable: a runaway loop shows a frozen clock, a
+		// genuinely huge workload a steadily advancing one.
+		return false, fmt.Errorf(
+			"%w: %d events dispatched (limit %d) at virtual time t=%v with %d still pending",
+			ErrEventLimit, e.events, e.limit, e.now, len(e.heap))
+	}
+	root := &e.arena[e.heap[0]]
+	at, fn := root.at, root.fn
+	e.events++
+	e.now = at
+	e.removeAt(0)
+	if h := e.hooks; h != nil && h.EventDispatched != nil {
+		h.EventDispatched(at, len(e.heap))
+	}
+	fn()
+	return true, nil
 }
 
 // Run processes events until the queue is empty or until the virtual clock
@@ -189,13 +293,8 @@ func (e *Engine) Step() (bool, error) {
 // number of events processed.
 func (e *Engine) Run(until units.Seconds) (uint64, error) {
 	var n uint64
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if until >= 0 && next.at > until {
+	for len(e.heap) > 0 {
+		if until >= 0 && e.arena[e.heap[0]].at > until {
 			e.now = until
 			return n, nil
 		}
@@ -218,12 +317,4 @@ func (e *Engine) Run(until units.Seconds) (uint64, error) {
 func (e *Engine) RunAll() (uint64, error) { return e.Run(-1) }
 
 // Pending returns the number of live events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return len(e.heap) }

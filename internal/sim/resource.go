@@ -2,8 +2,6 @@ package sim
 
 import (
 	"errors"
-	"math"
-	"sort"
 
 	"repro/internal/units"
 )
@@ -15,20 +13,26 @@ import (
 //
 // Work is measured in abstract units (bytes, flops); capacity in units per
 // second of virtual time. Completion callbacks fire inside the engine.
+//
+// Jobs live in a slice ordered by submission, so completion callbacks
+// fire in submission order by construction — the deterministic dispatch
+// the event queue depends on — and the steady-state hot path (submit,
+// advance, complete) allocates nothing: the job slice, the finished
+// scratch and the engine callback are all reused.
 type SharedResource struct {
-	eng       *Engine
-	capacity  float64 // aggregate units/second
-	perJobCap float64 // per-job ceiling; 0 means no ceiling
-	jobs      map[*srJob]struct{}
-	nextSeq   uint64
-	last      units.Seconds
-	pending   Handle
-	doneWork  float64 // total units completed
-	busyTime  float64 // ∫ utilization dt
+	eng        *Engine
+	capacity   float64 // aggregate units/second
+	perJobCap  float64 // per-job ceiling; 0 means no ceiling
+	jobs       []srJob // in submission order
+	last       units.Seconds
+	pending    Handle
+	doneWork   float64  // total units completed
+	busyTime   float64  // ∫ utilization dt
+	completeFn func()   // prebuilt r.complete, so reschedule never allocates
+	finished   []func() // scratch: done callbacks drained by complete
 }
 
 type srJob struct {
-	seq       uint64 // submission order; fixes completion-callback order
 	remaining float64
 	done      func()
 }
@@ -41,13 +45,42 @@ func NewSharedResource(eng *Engine, capacity, perJobCap float64) (*SharedResourc
 	if perJobCap < 0 {
 		return nil, errors.New("sim: negative per-job cap")
 	}
-	return &SharedResource{
+	r := &SharedResource{
 		eng:       eng,
 		capacity:  capacity,
 		perJobCap: perJobCap,
-		jobs:      make(map[*srJob]struct{}),
 		last:      eng.Now(),
-	}, nil
+	}
+	r.completeFn = r.complete
+	return r, nil
+}
+
+// Reconfigure returns the resource to the state NewSharedResource would
+// construct — no jobs, counters zeroed, bookkeeping anchored at the
+// engine's current time — while keeping the job and scratch storage.
+// Call it after resetting the engine the resource is bound to; recycling
+// a (engine, resource) pair across independent simulations behaves
+// bit-identically to building fresh ones.
+func (r *SharedResource) Reconfigure(capacity, perJobCap float64) error {
+	if capacity <= 0 {
+		return errors.New("sim: resource capacity must be positive")
+	}
+	if perJobCap < 0 {
+		return errors.New("sim: negative per-job cap")
+	}
+	for i := range r.jobs {
+		r.jobs[i] = srJob{}
+	}
+	for i := range r.finished {
+		r.finished[i] = nil
+	}
+	r.capacity, r.perJobCap = capacity, perJobCap
+	r.jobs = r.jobs[:0]
+	r.finished = r.finished[:0]
+	r.last = r.eng.Now()
+	r.pending = Handle{}
+	r.doneWork, r.busyTime = 0, 0
+	return nil
 }
 
 // rate returns the current per-job service rate.
@@ -93,7 +126,8 @@ func (r *SharedResource) advance() {
 	}
 	rate := r.rate()
 	if rate > 0 {
-		for j := range r.jobs {
+		for i := range r.jobs {
+			j := &r.jobs[i]
 			j.remaining -= rate * dt
 			if j.remaining < 0 {
 				j.remaining = 0
@@ -112,44 +146,48 @@ func (r *SharedResource) reschedule() {
 	if rate <= 0 || len(r.jobs) == 0 {
 		return
 	}
-	min := math.Inf(1)
-	for j := range r.jobs {
-		if j.remaining < min {
-			min = j.remaining
+	min := r.jobs[0].remaining
+	for i := 1; i < len(r.jobs); i++ {
+		if r.jobs[i].remaining < min {
+			min = r.jobs[i].remaining
 		}
 	}
 	delay := units.Seconds(min / rate)
-	h, err := r.eng.After(delay, r.complete)
+	h, err := r.eng.After(delay, r.completeFn)
 	if err != nil {
 		panic("sim: reschedule failed: " + err.Error())
 	}
 	r.pending = h
 }
 
-// complete fires when at least one job has drained. When several jobs
-// drain at the same instant their done callbacks must fire in
-// submission order: callback order decides the order resumed processes
-// re-enter the event queue, so leaving it to map iteration would leak
-// schedule nondeterminism into every downstream artifact.
+// complete fires when at least one job has drained. The job slice is in
+// submission order, so compacting it in place and draining the finished
+// jobs' callbacks front to back fires them in submission order — the
+// order resumed processes re-enter the event queue, which must not
+// depend on scheduling accidents.
 func (r *SharedResource) complete() {
 	r.advance()
-	var finished []*srJob
-	for j := range r.jobs {
+	r.finished = r.finished[:0]
+	keep := r.jobs[:0]
+	for _, j := range r.jobs {
 		if j.remaining <= 1e-9 {
-			finished = append(finished, j)
+			r.finished = append(r.finished, j.done)
+		} else {
+			keep = append(keep, j)
 		}
 	}
-	sort.Slice(finished, func(i, k int) bool { return finished[i].seq < finished[k].seq })
-	for _, j := range finished {
-		delete(r.jobs, j)
+	// Clear the vacated tail so finished jobs' callbacks are not retained.
+	for i := len(keep); i < len(r.jobs); i++ {
+		r.jobs[i] = srJob{}
 	}
+	r.jobs = keep
 	r.reschedule()
-	for _, j := range finished {
+	for _, done := range r.finished {
 		if h := r.eng.hooks; h != nil && h.ProcessResumed != nil {
 			h.ProcessResumed(r.eng.Now(), len(r.jobs))
 		}
-		if j.done != nil {
-			j.done()
+		if done != nil {
+			done()
 		}
 	}
 }
@@ -160,9 +198,7 @@ func (r *SharedResource) Submit(amount float64, done func()) error {
 		return errors.New("sim: non-positive work amount")
 	}
 	r.advance()
-	j := &srJob{seq: r.nextSeq, remaining: amount, done: done}
-	r.nextSeq++
-	r.jobs[j] = struct{}{}
+	r.jobs = append(r.jobs, srJob{remaining: amount, done: done})
 	if h := r.eng.hooks; h != nil {
 		if h.ProcessBlocked != nil {
 			h.ProcessBlocked(r.eng.Now(), len(r.jobs))

@@ -63,10 +63,13 @@ func (r *RNG) Exp(rate float64) float64 {
 }
 
 // Fork derives an independent child generator. Distinct labels give distinct
-// streams; the parent's stream is unaffected.
-func (r *RNG) Fork(label uint64) *RNG {
+// streams; the parent's stream is unaffected. The child is returned by
+// value (a single uint64 of state), so the per-attempt fork chain of a
+// fault draw — Fork(bench).Fork(procs).Fork(attempt) — stays entirely on
+// the stack and never allocates.
+func (r RNG) Fork(label uint64) RNG {
 	// Mix the label through the state without consuming parent entropy.
 	z := r.state ^ (label * 0xd6e8feb86659fd93)
 	z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93
-	return NewRNG(z ^ (z >> 32) ^ 0xabcdef0123456789)
+	return RNG{state: z ^ (z >> 32) ^ 0xabcdef0123456789}
 }

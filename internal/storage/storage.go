@@ -339,6 +339,13 @@ func NewBackend(eng *sim.Engine, aggregateBps, perClientBps float64) (*Backend, 
 	return &Backend{res: res}, nil
 }
 
+// Reconfigure resets the backend to a fresh NewBackend state with the
+// given bandwidths, keeping its job storage. The bound engine must be
+// reset first; see sim.SharedResource.Reconfigure.
+func (b *Backend) Reconfigure(aggregateBps, perClientBps float64) error {
+	return b.res.Reconfigure(aggregateBps, perClientBps)
+}
+
 // SubmitWrite enqueues a write of n bytes; done fires at completion.
 func (b *Backend) SubmitWrite(n float64, done func()) error {
 	return b.res.Submit(n, done)

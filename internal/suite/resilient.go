@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -78,12 +79,29 @@ type simulated struct {
 	engine *sim.Stats
 }
 
-// benchStep is one benchmark of a suite: a name plus the closure that runs
-// its performance model against a (possibly fault-degraded) spec.
+// benchStep is one benchmark of a suite: a name, its metric unit, and
+// the registered workload whose performance model it runs. Steps carry
+// no per-run state — the run's environment is threaded in at simulate
+// time — so one assembled step list serves every cell of a sweep.
 type benchStep struct {
-	name     string
-	metric   string
-	simulate func(spec *cluster.Spec) (simulated, error)
+	name   string
+	metric string
+	w      bench.Workload
+}
+
+// simulate runs the step's performance model against a (possibly
+// fault-degraded) spec under cfg's environment.
+func (st *benchStep) simulate(cfg *Config, spec *cluster.Spec) (simulated, error) {
+	sm, err := st.w.Simulate(spec, bench.Env{
+		Procs:       cfg.Procs,
+		Placement:   cfg.Placement,
+		Override:    cfg.Tunables.override(st.name),
+		EventBudget: cfg.Retry.EventBudget,
+	})
+	if err != nil {
+		return simulated{}, err
+	}
+	return simulated{perf: sm.Perf, profile: sm.Profile, engine: sm.Engine}, nil
 }
 
 // runSuite executes steps under the config's fault plan and retry policy.
@@ -97,19 +115,55 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 	spec := cfg.Faults.ApplySpec(cfg.Spec)
 	model := cfg.PowerModel
 	if model == nil {
-		var err error
-		if model, err = power.NewModel(spec); err != nil {
-			return nil, err
+		// A scratch-cached default model is reused only while the spec
+		// pointer is unchanged (an injected fault plan derives a new
+		// spec, which forces a rebuild). NewModel's output is a pure
+		// function of the spec and nothing here mutates it.
+		if sc := cfg.scratch; sc != nil && sc.model != nil && sc.model.Spec == spec {
+			model = sc.model
+		} else {
+			var err error
+			if model, err = power.NewModel(spec); err != nil {
+				return nil, err
+			}
+			if sc := cfg.scratch; sc != nil {
+				sc.model = model
+			}
 		}
 	}
 	meterCfg := cfg.Faults.ApplyMeter(cfg.Meter)
-	meter, err := power.NewMeter(meterCfg)
+	var meter *power.Meter
+	if sc := cfg.scratch; sc != nil && sc.meter != nil {
+		// Scheduler-owned scratch: recycle the previous cell's meter (and
+		// its sample buffers). Reconfigure restores NewMeter semantics, so
+		// the sampled traces are bit-identical to a fresh meter's.
+		meter = sc.meter
+		if err := meter.Reconfigure(meterCfg); err != nil {
+			return nil, err
+		}
+	} else {
+		m, err := power.NewMeter(meterCfg)
+		if err != nil {
+			return nil, err
+		}
+		meter = m
+		if sc := cfg.scratch; sc != nil {
+			// The runner folds each sampled trace into scalars before the
+			// next measurement, so buffer recycling is safe here.
+			meter.ReuseSampleBuffer()
+			sc.meter = meter
+		}
+	}
+	var distBuf []int
+	if sc := cfg.scratch; sc != nil {
+		distBuf = sc.dist
+	}
+	dist, err := spec.DistributeInto(cfg.Procs, cfg.Placement, distBuf)
 	if err != nil {
 		return nil, err
 	}
-	dist, err := spec.Distribute(cfg.Procs, cfg.Placement)
-	if err != nil {
-		return nil, err
+	if sc := cfg.scratch; sc != nil {
+		sc.dist = dist
 	}
 
 	rec := cfg.Trace
@@ -121,6 +175,7 @@ func runSuite(cfg Config, steps []benchStep) (*Result, error) {
 		Procs:       cfg.Procs,
 		ActiveNodes: cluster.ActiveNodes(dist),
 		Placement:   cfg.Placement.String(),
+		Runs:        make([]BenchmarkRun, 0, len(steps)),
 	}
 	for _, st := range steps {
 		if cfg.Lookup != nil {
@@ -260,7 +315,7 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 			}
 			*clock += delay
 		}
-		sm, err := st.simulate(spec)
+		sm, err := st.simulate(cfg, spec)
 		if err != nil {
 			if errors.Is(err, sim.ErrEventLimit) {
 				// The event budget is a deliberate timeout, not a bug.
@@ -301,6 +356,12 @@ func runStep(cfg *Config, spec *cluster.Spec, model *power.Model,
 		run.WastedTime = wasted
 		if attempt > 0 {
 			run.Status = StatusRecovered
+		}
+		if rec == nil {
+			// Attribute values are rendered eagerly (FormatFloat and
+			// friends), so an untraced run must not build them at all.
+			attemptSpan(attempt, dur, "ok")
+			return run, nil
 		}
 		okAttrs := []obs.Attr{
 			obs.F64("perf", run.Measurement.Performance),

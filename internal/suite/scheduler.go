@@ -4,11 +4,33 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/power"
 	"repro/internal/units"
 )
+
+// cellScratch is the per-worker reusable state the scheduler threads
+// through Config.scratch: buffers that survive from one cell to the next
+// on the same worker, so steady-state cells stop paying construction
+// costs. A scratch never crosses workers, and using one never changes
+// results — it only recycles storage the runner has already drained.
+type cellScratch struct {
+	meter *power.Meter
+	// steps caches the assembled benchmark steps; stepNames records the
+	// list they were built from, so a plan whose Configure varies the
+	// benchmark list per cell still rebuilds.
+	steps     []benchStep
+	stepNames []string
+	// model caches the default power model, reusable while the
+	// (fault-adjusted) spec pointer is unchanged.
+	model *power.Model
+	// dist is the process-distribution buffer recycled across cells; the
+	// runner folds it into scalars before the next cell reuses it.
+	dist []int
+}
 
 // LiveSink is the scheduler's view of a wall-clock telemetry plane.
 // The suite package is on the deterministic side of the two-plane
@@ -41,10 +63,12 @@ type CellContext struct {
 	// Procs is the cell's process count (one value of SweepPlan.Axis).
 	Procs int
 	// Rec is the recorder the cell runs under: the campaign tracer itself
-	// when the sweep is sequential, a fresh per-cell tracer when it is
-	// parallel, nil when the plan has no tracer. Configure uses it to
-	// wire journaling hooks (Mark/Since); the scheduler installs it as
-	// the run's Config.Trace, overriding anything Configure set there.
+	// when the sweep is sequential, the worker's batch tracer when it is
+	// parallel, nil when the plan has no tracer. A worker runs its cells
+	// one after another, so Mark/Since pairs taken around one cell still
+	// delimit exactly that cell's records; Configure uses them to wire
+	// journaling hooks. The scheduler installs Rec as the run's
+	// Config.Trace, overriding anything Configure set there.
 	Rec *obs.Tracer
 	// Origin is the campaign-clock time at which Rec's timeline begins
 	// for this cell: the accumulated sweep time so far when sequential,
@@ -92,8 +116,9 @@ type SweepPlan struct {
 // returned results, the campaign trace and the campaign metrics are
 // byte-identical to the sequential schedule's. On error the first
 // failing cell in axis order is reported; under the parallel schedule
-// later cells may already have run by then (they are discarded), whereas
-// the sequential schedule stops at the failure.
+// later cells may already have run by then (they are discarded, and
+// cells after the failure point may be skipped entirely), whereas the
+// sequential schedule stops at the failure.
 func RunSweepPlan(plan SweepPlan) ([]*Result, error) {
 	if plan.Configure == nil {
 		return nil, errors.New("suite: sweep plan has no Configure")
@@ -146,6 +171,7 @@ func resultRetries(r *Result) int {
 
 func runSweepSequential(plan SweepPlan) ([]*Result, error) {
 	out := make([]*Result, 0, len(plan.Axis))
+	scratch := &cellScratch{}
 	var cursor units.Seconds
 	for _, p := range plan.Axis {
 		ctx := CellContext{Procs: p, Rec: plan.Trace, Origin: cursor}
@@ -157,6 +183,7 @@ func runSweepSequential(plan SweepPlan) ([]*Result, error) {
 			cfg.Trace = ctx.Rec
 			cfg.TraceAt = ctx.Origin
 		}
+		cfg.scratch = scratch
 		r, err := runCell(plan, cfg, p)
 		if err != nil {
 			return nil, fmt.Errorf("suite: p=%d: %w", p, err)
@@ -167,56 +194,113 @@ func runSweepSequential(plan SweepPlan) ([]*Result, error) {
 	return out, nil
 }
 
+// runSweepParallel runs the axis on exactly plan.Workers goroutines.
+// Workers claim contiguous axis-order chunks off an atomic cursor and
+// run each chunk's cells back to back against worker-local state: one
+// batch tracer collecting every cell the worker runs (delimited by
+// per-cell marks) and one cellScratch recycling measurement buffers.
+// Compared with a goroutine-per-cell pool this amortizes tracer and
+// scratch construction across a whole batch and keeps adjacent cells'
+// merges reading from the same arenas.
 func runSweepParallel(plan SweepPlan) ([]*Result, error) {
-	type cell struct {
-		res *Result
-		rec *obs.Tracer
-		err error
+	n := len(plan.Axis)
+	workers := plan.Workers
+	if workers > n {
+		workers = n
 	}
-	cells := make([]cell, len(plan.Axis))
-	sem := make(chan struct{}, plan.Workers)
-	var wg sync.WaitGroup
-	for i, p := range plan.Axis {
+	// Several chunks per worker so a slow chunk doesn't serialise the
+	// tail, while chunks stay large enough to amortize claim overhead.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	type cellState struct {
+		res      *Result
+		rec      *obs.Tracer
+		from, to obs.Mark
+		err      error
+	}
+	cells := make([]cellState, n)
+	var (
+		next     atomic.Int64 // next unclaimed axis index
+		failedAt atomic.Int64 // lowest failing axis index so far
+		wg       sync.WaitGroup
+	)
+	failedAt.Store(int64(n))
+	fail := func(i int) {
+		for {
+			cur := failedAt.Load()
+			if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			var rec *obs.Tracer
 			if plan.Trace != nil {
 				rec = obs.NewTracer()
 			}
-			ctx := CellContext{Procs: p, Rec: rec}
-			cfg, err := plan.Configure(ctx)
-			if err != nil {
-				cells[i].err = fmt.Errorf("suite: p=%d: %w", p, err)
-				return
+			scratch := &cellScratch{}
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					// Cells after a failure are doomed to be discarded —
+					// skip them. Cells before it still run, so the error
+					// contract (first failing cell in axis order) holds.
+					if int64(i) > failedAt.Load() {
+						continue
+					}
+					p := plan.Axis[i]
+					c := &cells[i]
+					c.rec = rec
+					c.from = rec.Mark()
+					ctx := CellContext{Procs: p, Rec: rec}
+					cfg, err := plan.Configure(ctx)
+					if err != nil {
+						c.err = fmt.Errorf("suite: p=%d: %w", p, err)
+						fail(i)
+						continue
+					}
+					if rec != nil {
+						cfg.Trace = rec
+						cfg.TraceAt = 0
+					}
+					cfg.scratch = scratch
+					r, err := runCell(plan, cfg, p)
+					if err != nil {
+						c.err = fmt.Errorf("suite: p=%d: %w", p, err)
+						fail(i)
+						continue
+					}
+					c.res = r
+					c.to = rec.Mark()
+				}
 			}
-			if rec != nil {
-				cfg.Trace = rec
-				cfg.TraceAt = 0
-			}
-			r, err := runCell(plan, cfg, p)
-			if err != nil {
-				cells[i].err = fmt.Errorf("suite: p=%d: %w", p, err)
-				return
-			}
-			cells[i] = cell{res: r, rec: rec}
 		}()
 	}
 	wg.Wait()
-	for _, c := range cells {
-		if c.err != nil {
-			return nil, c.err
+	for i := range cells {
+		if cells[i].err != nil {
+			return nil, cells[i].err
 		}
 	}
-	// Merge in axis order: lay each cell's zero-based trace end to end on
-	// the campaign clock, exactly where the sequential schedule would
-	// have recorded it.
-	out := make([]*Result, len(cells))
+	// Merge in axis order: stream each cell's zero-based mark range end
+	// to end onto the campaign clock, exactly where the sequential
+	// schedule would have recorded it.
+	out := make([]*Result, n)
 	var cursor units.Seconds
 	for i := range cells {
-		cells[i].rec.MergeInto(plan.Trace, cursor)
+		cells[i].rec.MergeRangeInto(plan.Trace, cells[i].from, cells[i].to, cursor)
 		cells[i].res.TraceEnd += cursor
 		cursor = cells[i].res.TraceEnd
 		out[i] = cells[i].res

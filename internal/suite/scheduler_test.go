@@ -3,11 +3,14 @@ package suite
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
@@ -256,24 +259,147 @@ func TestSweepSeededViaPlanUnchanged(t *testing.T) {
 	}
 }
 
-// BenchmarkSweepAxisSequential runs a full multi-point campaign on one
-// worker — the baseline the parallel scheduler is compared against
+// TestSweepWorkerEdgeCases pins the scheduler's degenerate worker
+// counts: one worker (which must take the sequential path) and more
+// workers than cells (which must clamp) both serialise results, trace
+// and metrics byte-identically to the sequential schedule.
+func TestSweepWorkerEdgeCases(t *testing.T) {
+	axis := []int{2, 4, 8}
+	sweep := func(workers int) ([]byte, []byte, []byte) {
+		tracer := obs.NewTracer()
+		rs, err := RunSweepPlan(SweepPlan{
+			Axis:    axis,
+			Workers: workers,
+			Trace:   tracer,
+			Configure: func(ctx CellContext) (Config, error) {
+				return faultyConfig(ctx.Procs), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var metrics bytes.Buffer
+		if err := tracer.Registry().Snapshot().WriteJSON(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "trace.json")
+		if err := obs.WriteChromeTraceFile(path, tracer.Spans(), tracer.Events()); err != nil {
+			t.Fatal(err)
+		}
+		chrome, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshalResults(t, rs), chrome, metrics.Bytes()
+	}
+	baseRes, baseSpans, baseMetrics := sweep(0) // classic sequential schedule
+	for _, workers := range []int{1, len(axis) + 5} {
+		res, spans, metrics := sweep(workers)
+		if !bytes.Equal(res, baseRes) {
+			t.Errorf("workers=%d: results differ from sequential", workers)
+		}
+		if !bytes.Equal(spans, baseSpans) {
+			t.Errorf("workers=%d: trace differs from sequential", workers)
+		}
+		if !bytes.Equal(metrics, baseMetrics) {
+			t.Errorf("workers=%d: metrics differ from sequential", workers)
+		}
+	}
+}
+
+// TestSweepParallelErrorNoLeak: a sweep with failing cells must report
+// the first failure in axis order, terminate every worker goroutine,
+// and never deadlock the merge — with a live campaign tracer attached,
+// so the failure path is also a -race canary.
+func TestSweepParallelErrorNoLeak(t *testing.T) {
+	spec := cluster.Testbed()
+	before := runtime.NumGoroutine()
+	_, err := RunSweepPlan(SweepPlan{
+		Axis:    []int{2, 3, 4, 5, 6, 8},
+		Workers: 4,
+		Trace:   obs.NewTracer(),
+		Configure: func(ctx CellContext) (Config, error) {
+			cfg := SeededConfig(spec, ctx.Procs, 17)
+			if ctx.Procs >= 4 {
+				cfg.Procs = -1 // invalid: fails Validate inside Run
+			}
+			return cfg, nil
+		},
+	})
+	if err == nil {
+		t.Fatal("sweep with failing cells returned no error")
+	}
+	if !strings.Contains(err.Error(), "p=4") {
+		t.Errorf("error does not name the first failing cell in axis order: %v", err)
+	}
+	// The worker goroutines hold no channels open and exit once the axis
+	// cursor runs out; give the runtime a moment to reap them.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("worker goroutines leaked: %d running, %d before the sweep", g, before)
+	}
+}
+
+// BenchmarkSweepAxisSequential runs the paper's full Fire campaign on
+// one worker — the baseline the parallel scheduler is compared against
 // (make bench graphs the two side by side in BENCH_sweep.json).
 func BenchmarkSweepAxisSequential(b *testing.B) {
-	benchmarkSweepAxis(b, 1)
+	benchmarkSweepAxis(b, FireSweep(), 1)
 }
 
 // BenchmarkSweepAxisParallel is the same campaign on four workers.
 func BenchmarkSweepAxisParallel(b *testing.B) {
-	benchmarkSweepAxis(b, 4)
+	benchmarkSweepAxis(b, FireSweep(), 4)
 }
 
-func benchmarkSweepAxis(b *testing.B, workers int) {
+// BenchmarkSweepMatrix spans the cells×workers plane: the paper's
+// 9-cell axis and a production-sized 32-cell axis, each at 1/2/4/8
+// workers. The per-op numbers feed the scheduler-performance table in
+// EXPERIMENTS.md; allocs/op divided by the cell count is the per-cell
+// allocation budget the hot-path refactor is held to.
+func BenchmarkSweepMatrix(b *testing.B) {
+	spec := cluster.Fire()
+	axes := []struct {
+		name string
+		axis []int
+	}{
+		{"cells=9", FireSweep()},
+		{"cells=32", denseFireAxis(spec)},
+	}
+	for _, ax := range axes {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", ax.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := SweepParallel(spec, ax.axis, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// denseFireAxis is the production-sized sweep: every multiple of four
+// processes up to the Fire cluster's full core count (32 cells).
+func denseFireAxis(spec *cluster.Spec) []int {
+	axis := make([]int, 0, spec.TotalCores()/4)
+	for p := 4; p <= spec.TotalCores(); p += 4 {
+		axis = append(axis, p)
+	}
+	return axis
+}
+
+func benchmarkSweepAxis(b *testing.B, axis []int, workers int) {
 	spec := cluster.Fire()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SweepParallel(spec, FireSweep(), workers); err != nil {
+		if _, err := SweepParallel(spec, axis, workers); err != nil {
 			b.Fatal(err)
 		}
 	}

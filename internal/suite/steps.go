@@ -1,48 +1,59 @@
 package suite
 
-import (
-	"repro/internal/bench"
-	"repro/internal/cluster"
-)
+import "repro/internal/bench"
+
+// defaultBenchmarks is the paper's suite, resolved once: benchmarks()
+// is on the per-cell hot path and must not rebuild the default list.
+var defaultBenchmarks = bench.PaperOrder()
 
 // benchmarks returns the run's effective ordered benchmark list: an
-// explicit Config.Benchmarks, or the paper's three by default.
+// explicit Config.Benchmarks, or the paper's three by default. The
+// returned slice is read-only.
 func (c *Config) benchmarks() []string {
 	if len(c.Benchmarks) > 0 {
 		return c.Benchmarks
 	}
-	return bench.PaperOrder()
+	return defaultBenchmarks
 }
 
 // stepsFor assembles the run's steps from the workload registry — the
 // suite layer knows no benchmark by name. Each step wraps one registered
-// workload with the run's environment (process count, placement, tunable
-// override, event budget); the resilience machinery, journaling, tracing
-// and reports treat every workload identically.
+// workload; the run's environment (process count, placement, tunable
+// override, event budget) is threaded in at simulate time, so the
+// resilience machinery, journaling, tracing and reports treat every
+// workload identically. Steps carry no per-run state, and a scheduler
+// scratch caches the assembled list across the cells of a sweep (every
+// cell of one sweep runs the same benchmark list).
 func stepsFor(cfg *Config) ([]benchStep, error) {
-	names, err := bench.Resolve(cfg.benchmarks())
+	names := cfg.benchmarks()
+	if sc := cfg.scratch; sc != nil && sameNames(sc.stepNames, names) {
+		return sc.steps, nil
+	}
+	resolved, err := bench.Resolve(names)
 	if err != nil {
 		return nil, err
 	}
-	steps := make([]benchStep, 0, len(names))
-	for _, name := range names {
+	steps := make([]benchStep, 0, len(resolved))
+	for _, name := range resolved {
 		w, _ := bench.Lookup(name)
-		steps = append(steps, benchStep{
-			name:   w.Name(),
-			metric: w.Metric(),
-			simulate: func(spec *cluster.Spec) (simulated, error) {
-				sm, err := w.Simulate(spec, bench.Env{
-					Procs:       cfg.Procs,
-					Placement:   cfg.Placement,
-					Override:    cfg.Tunables.override(w.Name()),
-					EventBudget: cfg.Retry.EventBudget,
-				})
-				if err != nil {
-					return simulated{}, err
-				}
-				return simulated{perf: sm.Perf, profile: sm.Profile, engine: sm.Engine}, nil
-			},
-		})
+		steps = append(steps, benchStep{name: w.Name(), metric: w.Metric(), w: w})
+	}
+	if sc := cfg.scratch; sc != nil {
+		sc.steps = steps
+		sc.stepNames = append(sc.stepNames[:0], names...)
 	}
 	return steps, nil
+}
+
+// sameNames reports whether two benchmark lists are elementwise equal.
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -131,6 +131,12 @@ type Config struct {
 	// TraceAt offsets this run's spans on the campaign's virtual-time
 	// axis, so the runs of a sweep lay out end to end in one trace.
 	TraceAt units.Seconds
+
+	// scratch, when the sweep scheduler sets it, carries per-worker
+	// reusable buffers (the meter and its sample storage) across the
+	// cells a worker runs. Strictly an allocation optimisation: results
+	// are byte-identical with or without it.
+	scratch *cellScratch
 }
 
 // Validate checks the configuration before any model runs, so a broken
@@ -156,7 +162,7 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
-	if _, err := bench.Resolve(c.benchmarks()); err != nil {
+	if err := bench.Validate(c.benchmarks()); err != nil {
 		return fmt.Errorf("suite: %w", err)
 	}
 	return nil
