@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/obs/live"
+	"repro/internal/obs/ops"
 )
 
 // runDaemon runs the campaign server until a signal (or the test stop
@@ -43,6 +44,24 @@ func runDaemon(o options) error {
 	if flightCap == 0 {
 		flightCap = live.DefaultFlightCapacity
 	}
+	// The ops plane is on by default (-no-ops turns it off): request
+	// metrics, queue telemetry, runtime self-samples and per-job
+	// supervisor timelines. It observes wall-clock behaviour only — job
+	// artefacts stay byte-identical either way.
+	var tel *ops.Telemetry
+	if !o.noOps {
+		tel = ops.New()
+		tel.StartRuntimeSampler(o.opsSample, func(s ops.RuntimeSample) {
+			logger.Info("runtime sample",
+				"goroutines", s.Goroutines,
+				"heap_alloc_bytes", s.HeapAllocBytes,
+				"heap_objects", s.HeapObjects,
+				"gc_total", s.NumGC,
+				"gc_pause_total_seconds", s.GCPauseTotalSeconds,
+				"open_fds", s.OpenFDs)
+		})
+		defer tel.Close()
+	}
 	mgr, err := campaign.NewManager(campaign.ManagerConfig{
 		Dir:              o.daemonDir,
 		MaxConcurrent:    o.maxJobs,
@@ -51,6 +70,7 @@ func runDaemon(o options) error {
 		Worker:           worker,
 		HeartbeatTimeout: o.shardTimeout,
 		ShardRetries:     o.shardRetries,
+		Ops:              tel,
 	})
 	if err != nil {
 		return err
@@ -60,14 +80,15 @@ func runDaemon(o options) error {
 		Manager: mgr,
 		Logger:  logger,
 		Pprof:   o.pprof,
+		Ops:     tel,
 	})
 	if err != nil {
 		mgr.Close()
 		return err
 	}
 	logger.Info("campaign server listening",
-		"addr", srv.Addr(), "dir", o.daemonDir, "max_jobs", o.maxJobs, "pprof", o.pprof)
-	fmt.Fprintf(os.Stderr, "campaign server on http://%s (POST /jobs; /metrics /healthz /buildinfo)\n", srv.Addr())
+		"addr", srv.Addr(), "dir", o.daemonDir, "max_jobs", o.maxJobs, "pprof", o.pprof, "ops", !o.noOps)
+	fmt.Fprintf(os.Stderr, "campaign server on http://%s (POST /jobs; /metrics /healthz /statusz /buildinfo)\n", srv.Addr())
 	if o.onServe != nil {
 		o.onServe(srv.Addr())
 	}

@@ -304,3 +304,111 @@ func TestDaemonWorkerArgsMirrorCLIWorkerArgs(t *testing.T) {
 		t.Errorf("worker argv diverged:\n cli:    %v\n daemon: %v", cliArgs, daemonArgs)
 	}
 }
+
+// TestDaemonOpsEndpoints scrapes the operational surface of a working
+// daemon: /statusz aggregates, verbose /healthz, and the ops series
+// appended to /metrics.
+func TestDaemonOpsEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	base := startDaemon(t, options{daemonDir: filepath.Join(dir, "jobs"), opsSample: time.Minute})
+	st := submitJob(t, base, campaign.JobSpec{System: "testbed"})
+	if waitJob(t, base, st.ID).State != campaign.StateDone {
+		t.Fatal("job did not finish")
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var statusz struct {
+		OpsEnabled  bool           `json:"ops_enabled"`
+		JobsByState map[string]int `json:"jobs_by_state"`
+		Ops         *struct {
+			Queue struct {
+				JobsRun uint64 `json:"jobs_finished_total"`
+			} `json:"queue"`
+			Runtime struct {
+				Goroutines int `json:"goroutines"`
+			} `json:"runtime"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal(get("/statusz"), &statusz); err != nil {
+		t.Fatalf("statusz not JSON: %v", err)
+	}
+	if !statusz.OpsEnabled || statusz.Ops == nil {
+		t.Fatal("daemon default must have the ops plane enabled")
+	}
+	if statusz.JobsByState["done"] != 1 || statusz.Ops.Queue.JobsRun != 1 {
+		t.Errorf("statusz job aggregates wrong: %+v", statusz)
+	}
+	if statusz.Ops.Runtime.Goroutines < 1 {
+		t.Error("statusz runtime sample empty (sampler should prime it)")
+	}
+
+	var health struct {
+		Status    string `json:"status"`
+		Slots     int    `json:"slots"`
+		Accepting bool   `json:"accepting"`
+	}
+	if err := json.Unmarshal(get("/healthz?verbose=1"), &health); err != nil {
+		t.Fatalf("verbose healthz not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Slots != 2 || !health.Accepting {
+		t.Errorf("verbose healthz = %+v", health)
+	}
+
+	metrics := string(get("/metrics"))
+	for _, want := range []string{
+		`ops_http_requests_total{route="POST /jobs",code="202"} 1`,
+		`ops_http_request_seconds_bucket{route="GET /jobs/{id}",le="+Inf"}`,
+		"campaign_slots 2",
+		"campaign_jobs_finished_total 1",
+		"ops_runtime_goroutines",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDaemonNoOpsMatchesOpsArtifacts pins the inertness invariant at the
+// daemon level: the same job with -no-ops and with the default ops plane
+// produces byte-identical artefacts, and -no-ops strips the ops surface.
+func TestDaemonNoOpsMatchesOpsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	runJob := func(tag string, noOps bool) string {
+		base := startDaemon(t, options{daemonDir: filepath.Join(dir, tag), noOps: noOps})
+		st := submitJob(t, base, campaign.JobSpec{System: "testbed", Sweep: true})
+		st = waitJob(t, base, st.ID)
+		if st.State != campaign.StateDone {
+			t.Fatalf("%s job ended %s: %s", tag, st.State, st.Error)
+		}
+		if noOps {
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(metrics), "ops_http_requests_total") {
+				t.Error("-no-ops daemon still renders ops series")
+			}
+		}
+		return st.Dir
+	}
+	opsDir := runJob("with-ops", false)
+	plainDir := runJob("no-ops", true)
+	for _, name := range []string{campaign.ResultsFile, campaign.TraceFile, campaign.MetricsFile, campaign.ReportFile} {
+		mustEqualFiles(t, name, filepath.Join(opsDir, name), filepath.Join(plainDir, name))
+	}
+}

@@ -124,6 +124,9 @@ func main() {
 	daemonDir := flag.String("daemon-dir", "greenbench-jobs", "campaign server: directory for per-job journals and artefacts")
 	maxJobs := flag.Int("max-jobs", 2, "campaign server: jobs running concurrently (others queue)")
 	pprofFlag := flag.Bool("pprof", false, "campaign server: mount net/http/pprof under /debug/pprof")
+	opsTrace := flag.String("ops-trace", "", "write the sharded sweep's wall-clock supervisor timeline (Chrome trace) to this path")
+	noOps := flag.Bool("no-ops", false, "campaign server: disable the wall-clock operational telemetry plane")
+	opsSample := flag.Duration("ops-sample", 10*time.Second, "campaign server: runtime self-sample interval (goroutines, heap, GC, fds)")
 	flag.Parse()
 
 	o := options{
@@ -139,6 +142,7 @@ func main() {
 		shardWorker: *shardWorker, shardAxis: *shardAxis, shardTrace: *shardTrace,
 		shardTick: *shardTick,
 		daemon:    *daemon, daemonDir: *daemonDir, maxJobs: *maxJobs, pprof: *pprofFlag,
+		opsTracePath: *opsTrace, noOps: *noOps, opsSample: *opsSample,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
@@ -193,6 +197,12 @@ func validateCLI(o options) error {
 		if o.maxJobs < 1 {
 			return fmt.Errorf("-max-jobs must be at least 1, got %d", o.maxJobs)
 		}
+		if !o.noOps && o.opsSample <= 0 {
+			return fmt.Errorf("-ops-sample must be positive, got %v (or pass -no-ops to disable operational telemetry)", o.opsSample)
+		}
+	}
+	if o.opsTracePath != "" && o.shards < 2 {
+		return fmt.Errorf("-ops-trace records the shard supervisor's wall-clock timeline and needs -shards of at least 2")
 	}
 	return nil
 }
@@ -232,6 +242,14 @@ type options struct {
 	daemonDir string
 	maxJobs   int
 	pprof     bool
+	// Operational telemetry (wall-clock plane; see internal/obs/ops).
+	// opsTracePath asks a CLI sharded sweep for its supervisor timeline;
+	// noOps inverts the daemon's default-on ops plane (zero value keeps
+	// it enabled, so tests building options literals get it for free);
+	// opsSample paces the daemon's runtime self-sampler.
+	opsTracePath string
+	noOps        bool
+	opsSample    time.Duration
 	// Sharded sweeps (wall-clock plane; see internal/shard). shards > 1
 	// runs the sweep as supervised OS worker processes; a non-empty
 	// shardAxis switches this invocation into worker mode.

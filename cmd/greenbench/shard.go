@@ -31,6 +31,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/ops"
 	"repro/internal/shard"
 	"repro/internal/suite"
 )
@@ -80,7 +81,17 @@ func superviseShards(o *options, spec *cluster.Spec, pl cluster.Placement, bench
 			return cmd, nil
 		}
 	}
-	return campaign.SuperviseShards(campaign.ShardPlan{
+	// The supervisor timeline rides along as a second monitor: lifecycle
+	// events fan out to both the live plane and the wall-clock trace, and
+	// neither can perturb the deterministic artefacts (the journal merge
+	// never sees them).
+	mon := shard.Monitor(shardMonitor{hub: ls.Hub(), ls: ls})
+	var tl *ops.Timeline
+	if o.opsTracePath != "" {
+		tl = ops.NewTimeline()
+		mon = shard.Monitors(mon, tl)
+	}
+	err := campaign.SuperviseShards(campaign.ShardPlan{
 		JournalPath:      path,
 		Spec:             spec,
 		Placement:        pl,
@@ -92,11 +103,19 @@ func superviseShards(o *options, spec *cluster.Spec, pl cluster.Placement, bench
 		HeartbeatTimeout: o.shardTimeout,
 		MaxRetries:       o.shardRetries,
 		Log:              os.Stderr,
-		Monitor:          shardMonitor{hub: ls.Hub(), ls: ls},
+		Monitor:          mon,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	})
+	if tl != nil {
+		if werr := tl.WriteFile(o.opsTracePath); werr != nil {
+			fmt.Fprintf(os.Stderr, "greenbench: ops timeline write failed: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s (supervisor timeline, wall-clock)\n", o.opsTracePath)
+		}
+	}
+	return err
 }
 
 // workerArgs builds the argv of one shard worker: the hidden worker-mode

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -145,6 +146,40 @@ func TestShardedSweepMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestShardedSweepWithOpsTrace: -ops-trace must record a valid
+// wall-clock supervisor timeline without changing one byte of the
+// deterministic artefacts (the inertness invariant, CLI flavour).
+func TestShardedSweepWithOpsTrace(t *testing.T) {
+	dir := t.TempDir()
+	seqOut, seqTrace, seqMetrics := sequentialBaseline(t, dir)
+	o := shardedOptions(dir, "opstrace", 2)
+	o.opsTracePath = filepath.Join(dir, "supervisor.trace.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualFiles(t, "results", seqOut, o.out)
+	mustEqualFiles(t, "trace", seqTrace, o.tracePath)
+	mustEqualFiles(t, "metrics", seqMetrics, o.metricsPath)
+
+	check, err := obs.ValidateChromeTraceFile(o.opsTracePath)
+	if err != nil {
+		t.Fatalf("supervisor timeline invalid: %v", err)
+	}
+	// One attempt span per shard on a healthy run.
+	if check.Spans < 2 {
+		t.Errorf("timeline has %d spans, want one per shard (2)", check.Spans)
+	}
+	data, err := os.ReadFile(o.opsTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"shard 0", "shard 1", "attempt 1", `"outcome": "finished"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+}
+
 func TestShardedSweepSurvivesWorkerSIGKILL(t *testing.T) {
 	// Shard 1 is SIGKILLed after checkpointing two cells; the marker
 	// makes the fault transient, so the supervisor's relaunch completes
@@ -230,6 +265,8 @@ func TestValidateCLI(t *testing.T) {
 		{"daemon with native", options{workers: 1, daemon: ":0", native: true, maxJobs: 1}, "-native"},
 		{"daemon as shard worker", options{workers: 1, daemon: ":0", shardAxis: "1,2", journalPath: "j", maxJobs: 1}, "-shard-axis"},
 		{"daemon zero max-jobs", options{workers: 1, daemon: ":0"}, "-max-jobs"},
+		{"daemon zero ops-sample", options{workers: 1, daemon: ":0", maxJobs: 1}, "-ops-sample"},
+		{"ops-trace without shards", options{workers: 1, opsTracePath: "t.json"}, "-ops-trace"},
 	} {
 		err := validateCLI(tc.o)
 		if err == nil {

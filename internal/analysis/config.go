@@ -108,6 +108,10 @@ var deterministicPkgs = []string{
 //   - internal/campaign is the multi-tenant job layer (the daemon):
 //     wall-clock by nature, forbidden to the deterministic core just
 //     like the live plane and the shard supervisor.
+//   - internal/obs/ops is the operational telemetry plane (request
+//     metrics, queue stats, runtime samples, supervisor timelines):
+//     wall-clock by definition and likewise unimportable from any
+//     deterministic package.
 //   - internal/stats and internal/units host the approved tolerance
 //     helpers, so floateq is off inside them.
 //   - No internal package may import a cmd.
@@ -115,11 +119,12 @@ func DefaultConfig() Config {
 	all := analyzerNames()
 	noClock := []string{"detrand", "maporder", "floateq", "layering"}
 	noFloat := []string{"detclock", "detrand", "maporder", "layering"}
-	detForbid := []string{"repro/internal/obs/live", "repro/internal/shard", "repro/internal/campaign", "os/exec", "net/http", "repro/cmd/..."}
+	detForbid := []string{"repro/internal/obs/live", "repro/internal/obs/ops", "repro/internal/shard", "repro/internal/campaign", "os/exec", "net/http", "repro/cmd/..."}
 	internalForbid := []string{"repro/cmd/..."}
 
 	pkgs := []Rules{
 		{Match: "repro/internal/obs/live", Analyzers: noClock, ForbidImports: internalForbid},
+		{Match: "repro/internal/obs/ops", Analyzers: noClock, ForbidImports: internalForbid},
 		{Match: "repro/internal/shard", Analyzers: noClock, ForbidImports: internalForbid},
 		{Match: "repro/internal/campaign", Analyzers: noClock, ForbidImports: internalForbid},
 		{Match: "repro/internal/stats", Analyzers: noFloat, ForbidImports: internalForbid},

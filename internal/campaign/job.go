@@ -52,6 +52,11 @@ const (
 	MetricsFile = "metrics.json"
 	ReportFile  = "report.txt"
 	FlightFile  = "flight.json"
+	// OpsTraceFile is the wall-clock supervisor timeline of a sharded
+	// job (Chrome trace), written only when the ops plane is enabled.
+	// Unlike the artefacts above it is *not* deterministic: it records
+	// wall time by design.
+	OpsTraceFile = "ops.trace.json"
 )
 
 // Job is one submitted campaign: its spec, its isolated observability
@@ -168,7 +173,7 @@ func (j *Job) Status() Status {
 	// Progress and artefact listing read outside the job lock: the hub has
 	// its own synchronisation and stat is I/O.
 	st.Progress = j.hub.Progress()
-	for _, name := range []string{ResultsFile, TraceFile, MetricsFile, ReportFile, FlightFile} {
+	for _, name := range []string{ResultsFile, TraceFile, MetricsFile, ReportFile, FlightFile, OpsTraceFile} {
 		if _, err := os.Stat(filepath.Join(j.dir, name)); err == nil {
 			st.Artifacts = append(st.Artifacts, name)
 		}
@@ -190,7 +195,12 @@ func (j *Job) finish(state State, errMsg string, quarantined int) {
 	j.errMsg = errMsg
 	j.quarantined = quarantined
 	j.finished = time.Now()
+	run := 0.0
+	if !j.started.IsZero() {
+		run = j.finished.Sub(j.started).Seconds()
+	}
 	j.mu.Unlock()
+	j.hub.JobFinished(string(state), run)
 	close(j.done)
 }
 

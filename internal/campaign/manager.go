@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/ops"
 	"repro/internal/shard"
 	"repro/internal/suite"
 )
@@ -77,6 +78,12 @@ type ManagerConfig struct {
 	// sharded jobs (defaults 30s and 2).
 	HeartbeatTimeout time.Duration
 	ShardRetries     int
+	// Ops, when non-nil, receives operational telemetry: queue depth
+	// samples, queue-wait and run-duration observations, and a wall-clock
+	// supervisor timeline per sharded job (written to ops.trace.json in
+	// the job directory). Nil disables the plane; either way the job's
+	// campaign artefacts are byte-identical.
+	Ops *ops.Telemetry
 }
 
 // Manager owns the job table: submission, queuing, execution with
@@ -127,6 +134,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: creating job dir: %w", err)
 	}
+	cfg.Ops.Queue().Configure(cfg.MaxConcurrent, cfg.MaxQueued)
 	return &Manager{cfg: cfg, log: log, jobs: map[string]*Job{}}, nil
 }
 
@@ -194,7 +202,10 @@ func (m *Manager) Submit(js JobSpec) (*Job, error) {
 	m.queue = append(m.queue, j)
 	m.log.Info("job submitted", "job", id, "name", js.Name,
 		"system", j.res.spec.Name, "sweep", js.Sweep, "shards", js.Shards, "queued", len(m.queue))
+	j.hub.JobQueued(len(m.queue))
+	m.cfg.Ops.Queue().JobQueued()
 	m.startLocked()
+	m.cfg.Ops.Queue().Sample(len(m.queue), m.running)
 	return j, nil
 }
 
@@ -238,6 +249,21 @@ func (m *Manager) QueueDepth() int {
 	defer m.mu.Unlock()
 	return len(m.queue)
 }
+
+// Running returns how many jobs currently hold a concurrency slot.
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
+}
+
+// Slots returns the concurrency limit (ManagerConfig.MaxConcurrent
+// after defaulting).
+func (m *Manager) Slots() int { return m.cfg.MaxConcurrent }
+
+// MaxQueued returns the queue bound (ManagerConfig.MaxQueued after
+// defaulting).
+func (m *Manager) MaxQueued() int { return m.cfg.MaxQueued }
 
 // Cancel requests cancellation of a job. A queued job is cancelled on
 // the spot; a running one aborts at its next cell boundary and dumps
@@ -294,7 +320,11 @@ func (m *Manager) Close() {
 func (m *Manager) runJob(j *Job) {
 	defer m.wg.Done()
 	log := m.log.With("job", j.id)
+	wait := time.Since(j.submitted).Seconds()
 	j.setRunning()
+	started := time.Now()
+	j.hub.JobStarted(wait)
+	m.cfg.Ops.Queue().JobStarted(wait)
 	log.Info("job started", "dir", j.dir)
 
 	resultsPath := filepath.Join(j.dir, ResultsFile)
@@ -368,9 +398,11 @@ func (m *Manager) runJob(j *Job) {
 		log.Info("job done")
 	}
 
+	m.cfg.Ops.Queue().JobFinished(time.Since(started).Seconds())
 	m.mu.Lock()
 	m.running--
 	m.startLocked()
+	m.cfg.Ops.Queue().Sample(len(m.queue), m.running)
 	m.mu.Unlock()
 }
 
@@ -381,7 +413,16 @@ func (m *Manager) superviseJob(j *Job, axis []int, journalPath string, log *slog
 	if tick <= 0 {
 		tick = time.Second
 	}
-	return SuperviseShards(ShardPlan{
+	// The ops plane adds a wall-clock supervision timeline next to the
+	// job's deterministic artefacts; it observes the same Monitor stream
+	// the hub does, so it cannot touch the campaign's bytes.
+	mon := shard.Monitor(jobMonitor{j: j})
+	var tl *ops.Timeline
+	if m.cfg.Ops != nil {
+		tl = ops.NewTimeline()
+		mon = shard.Monitors(mon, tl)
+	}
+	err := SuperviseShards(ShardPlan{
 		JournalPath:      journalPath,
 		Spec:             j.res.spec,
 		Placement:        j.res.placement,
@@ -392,7 +433,7 @@ func (m *Manager) superviseJob(j *Job, axis []int, journalPath string, log *slog
 		HeartbeatTimeout: m.cfg.HeartbeatTimeout,
 		MaxRetries:       m.cfg.ShardRetries,
 		Logger:           log,
-		Monitor:          jobMonitor{j: j},
+		Monitor:          mon,
 		Start: func(t shard.Task, segment string) (*exec.Cmd, error) {
 			return m.cfg.Worker(WorkerSpec{
 				JobID:          j.id,
@@ -414,4 +455,10 @@ func (m *Manager) superviseJob(j *Job, axis []int, journalPath string, log *slog
 			log.Info(fmt.Sprintf(format, args...))
 		},
 	})
+	if tl != nil {
+		if werr := tl.WriteFile(filepath.Join(j.dir, OpsTraceFile)); werr != nil {
+			log.Error("ops timeline write failed", "error", werr.Error())
+		}
+	}
+	return err
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/obs/live"
+	"repro/internal/obs/ops"
 )
 
 // Server is the campaign daemon's HTTP surface:
@@ -30,15 +31,23 @@ import (
 //	DELETE /jobs/{id}         cancel (queued: immediate; running: next cell
 //	                          boundary + flight-recorder dump)
 //	GET    /metrics           Prometheus text: jobs by state, queue depth,
-//	                          per-job cell throughput and event drops
-//	GET    /healthz           liveness probe
+//	                          per-job cell throughput and event drops —
+//	                          plus the ops plane's route/tenant/queue/
+//	                          runtime series when ops is enabled
+//	GET    /statusz           aggregate operational snapshot as JSON
+//	                          (uptime, per-route latency, tenants, queue,
+//	                          runtime health, jobs by state)
+//	GET    /healthz           liveness probe; ?verbose=1 returns JSON with
+//	                          queue depth, slot use and accepting state
 //	GET    /buildinfo         Go/module build information as JSON
 //	/debug/pprof/...          profiling, only with ServerConfig.Pprof
 type Server struct {
-	m   *Manager
-	log *slog.Logger
-	ln  net.Listener
-	srv *http.Server
+	m     *Manager
+	log   *slog.Logger
+	ln    net.Listener
+	srv   *http.Server
+	ops   *ops.Telemetry
+	start time.Time
 
 	shutdown chan struct{}
 
@@ -59,6 +68,11 @@ type ServerConfig struct {
 	Logger *slog.Logger
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Ops, when non-nil, wraps every route in request instrumentation
+	// (counts, status codes, in-flight, latency, per-tenant) and enables
+	// the ops sections of /metrics and /statusz. Typically the same
+	// bundle handed to the manager.
+	Ops *ops.Telemetry
 }
 
 // NewServer starts serving and returns once the listener is bound, so
@@ -75,18 +89,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: listen %s: %w", cfg.Addr, err)
 	}
-	s := &Server{m: cfg.Manager, log: log, ln: ln, shutdown: make(chan struct{})}
+	s := &Server{m: cfg.Manager, log: log, ln: ln, ops: cfg.Ops,
+		start: time.Now(), shutdown: make(chan struct{})}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /buildinfo", s.handleBuildinfo)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	// Each route is wrapped in the ops middleware under its mux pattern —
+	// a bounded label set, never the raw URL. On a nil ops bundle the
+	// wrapper is the identity, so registration has no enabled/disabled
+	// branch. (Go 1.22 has no Request.Pattern, hence the explicit label.)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, cfg.Ops.HTTP().Handler(pattern, h))
+	}
+	handle("GET /{$}", s.handleIndex)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /buildinfo", s.handleBuildinfo)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /statusz", s.handleStatusz)
+	handle("POST /jobs", s.handleSubmit)
+	handle("GET /jobs", s.handleList)
+	handle("GET /jobs/{id}", s.handleGet)
+	handle("GET /jobs/{id}/events", s.handleEvents)
+	handle("GET /jobs/{id}/report", s.handleReport)
+	handle("DELETE /jobs/{id}", s.handleCancel)
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -185,14 +208,62 @@ GET    /jobs/{id}/events  job event stream (NDJSON)
 GET    /jobs/{id}/report  job run report (text)
 DELETE /jobs/{id}         cancel a job
 GET    /metrics           Prometheus exposition
-GET    /healthz           liveness probe
+GET    /statusz           operational snapshot (JSON)
+GET    /healthz           liveness probe (?verbose=1 for JSON detail)
 GET    /buildinfo         build information (JSON)
 `)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("verbose") == "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	depth, running := s.m.QueueDepth(), s.m.Running()
+	slots, maxQueued := s.m.Slots(), s.m.MaxQueued()
+	writeJSON(w, http.StatusOK, struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+		Slots      int    `json:"slots"`
+		SlotsInUse int    `json:"slots_in_use"`
+		MaxQueued  int    `json:"max_queued"`
+		// Accepting: a new submission would be admitted rather than
+		// rejected with ReasonQueueFull. Saturated: every concurrency
+		// slot is busy, so an admitted job would queue.
+		Accepting bool `json:"accepting"`
+		Saturated bool `json:"saturated"`
+	}{
+		Status: "ok", QueueDepth: depth, Slots: slots, SlotsInUse: running,
+		MaxQueued: maxQueued, Accepting: depth < maxQueued, Saturated: running >= slots,
+	})
+}
+
+// handleStatusz aggregates the operational picture in one JSON
+// document: job counts, queue state, and — when the ops plane is on —
+// per-route HTTP stats, tenants, queue histograms and the latest
+// runtime self-sample.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	byState := map[string]int{}
+	for _, j := range s.m.Jobs() {
+		byState[string(j.State())]++
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Now           time.Time        `json:"now"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		JobsByState   map[string]int   `json:"jobs_by_state"`
+		QueueDepth    int              `json:"queue_depth"`
+		Ops           *ops.StatuszSnap `json:"ops,omitempty"`
+		OpsEnabled    bool             `json:"ops_enabled"`
+	}{
+		Now:           now,
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		JobsByState:   byState,
+		QueueDepth:    s.m.QueueDepth(),
+		Ops:           s.ops.Statusz(now),
+		OpsEnabled:    s.ops != nil,
+	})
 }
 
 func (s *Server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
@@ -408,4 +479,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(&b, "# TYPE campaign_events_dropped_total counter\ncampaign_events_dropped_total %d\n", dropped)
 	io.WriteString(w, b.String())
+	// The ops plane appends its route/tenant/queue/runtime series; a nil
+	// bundle appends nothing.
+	ops.WritePrometheus(w, s.ops)
 }

@@ -245,6 +245,38 @@ func (h *Hub) ShardQuarantined(shard, procs int, reason string) {
 	}})
 }
 
+// JobQueued announces the owning job's admission to the campaign queue
+// at the given depth (this job included).
+func (h *Hub) JobQueued(depth int) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindJobQueued, Attrs: []obs.Attr{obs.Int("queue_depth", depth)}})
+}
+
+// JobStarted announces the owning job leaving the queue for a
+// concurrency slot after waiting the given wall seconds.
+func (h *Hub) JobStarted(waitSeconds float64) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindJobStarted, Attrs: []obs.Attr{
+		obs.F64("queue_wait_seconds", waitSeconds),
+	}})
+}
+
+// JobFinished announces the owning job reaching a terminal state after
+// running the given wall seconds (zero for jobs cancelled while
+// queued).
+func (h *Hub) JobFinished(state string, runSeconds float64) {
+	if h == nil {
+		return
+	}
+	h.publish(Event{Kind: KindJobFinished, Attrs: []obs.Attr{
+		obs.Str("state", state), obs.F64("run_seconds", runSeconds),
+	}})
+}
+
 // Progress returns the current progress snapshot.
 func (h *Hub) Progress() ProgressSnapshot {
 	if h == nil {

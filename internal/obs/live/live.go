@@ -56,6 +56,13 @@ const (
 	KindShardFinished    Kind = "shard.finished"
 	KindShardQuarantined Kind = "shard.quarantined"
 
+	// Job lifecycle kinds, published by the campaign manager through the
+	// hub's Job* methods: a job's own event stream shows when it queued,
+	// how long it waited for a slot, and how long it ran on the wall.
+	KindJobQueued   Kind = "job.queued"
+	KindJobStarted  Kind = "job.started"
+	KindJobFinished Kind = "job.finished"
+
 	// KindSpan and KindEvent are the fallbacks for records the classifier
 	// does not recognise (custom workloads, future instrumentation).
 	KindSpan  Kind = "span"

@@ -1,0 +1,166 @@
+// Package ops is the operational telemetry plane of the campaign
+// server: wall-clock instrumentation of the *serving system* itself —
+// HTTP request latency, queue depth and wait, runtime health, shard
+// supervision timelines — as opposed to the virtual-time plane
+// (internal/obs) that measures the simulated campaign.
+//
+// The separation invariant mirrors internal/obs/live: nothing in this
+// package may influence sweep results. Ops state is only ever *written
+// to* from serving and supervision code paths and *read from* by the
+// /metrics, /statusz and timeline exporters; enabling or disabling the
+// plane must leave every campaign artefact byte-identical. Golden tests
+// in cmd/greenbench and internal/campaign pin that.
+//
+// A nil *Telemetry (and nil component pointers) is a valid, inert
+// instance: every method is nil-receiver safe so call sites thread one
+// field through unconditionally, the same convention *obs.Tracer and
+// *live.Hub follow.
+package ops
+
+import (
+	"sync"
+	"time"
+)
+
+// Telemetry bundles the server-wide operational instruments: HTTP
+// middleware state, queue statistics and the runtime self-sampler.
+// Construct with New; the zero value of a nil pointer is inert.
+type Telemetry struct {
+	start time.Time
+
+	http  *HTTPMetrics
+	queue *QueueStats
+
+	mu      sync.Mutex
+	sampled RuntimeSample // last self-sample (zero until the first tick)
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New returns an empty telemetry bundle anchored at the current wall
+// time. The runtime sampler is off until StartRuntimeSampler.
+func New() *Telemetry {
+	return &Telemetry{
+		start: time.Now(),
+		http:  newHTTPMetrics(),
+		queue: newQueueStats(),
+	}
+}
+
+// HTTP returns the request-instrumentation component (nil on a nil
+// bundle; *HTTPMetrics methods are themselves nil-safe).
+func (t *Telemetry) HTTP() *HTTPMetrics {
+	if t == nil {
+		return nil
+	}
+	return t.http
+}
+
+// Queue returns the queue-statistics component (nil on a nil bundle;
+// *QueueStats methods are themselves nil-safe).
+func (t *Telemetry) Queue() *QueueStats {
+	if t == nil {
+		return nil
+	}
+	return t.queue
+}
+
+// StartRuntimeSampler begins self-sampling the Go runtime every tick.
+// Each sample is stored for /statusz and /metrics and, when onSample is
+// non-nil, handed to it (the daemon forwards samples to its NDJSON
+// log). A second call while a sampler runs is a no-op. No-op on nil.
+func (t *Telemetry) StartRuntimeSampler(every time.Duration, onSample func(RuntimeSample)) {
+	if t == nil || every <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.stop != nil {
+		t.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.stop, t.done = stop, done
+	// Take one sample synchronously so the gauges are live immediately.
+	t.sampled = ReadRuntimeSample(time.Now())
+	first := t.sampled
+	t.mu.Unlock()
+	if onSample != nil {
+		onSample(first)
+	}
+
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				s := ReadRuntimeSample(now)
+				t.mu.Lock()
+				t.sampled = s
+				t.mu.Unlock()
+				if onSample != nil {
+					onSample(s)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the runtime sampler, waiting for its goroutine to exit.
+// Safe to call repeatedly and on nil.
+func (t *Telemetry) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Runtime returns the most recent self-sample, or a fresh one when the
+// sampler has never ticked (so /statusz is never empty). Zero on nil.
+func (t *Telemetry) Runtime() RuntimeSample {
+	if t == nil {
+		return RuntimeSample{}
+	}
+	t.mu.Lock()
+	s := t.sampled
+	t.mu.Unlock()
+	if s.Wall.IsZero() {
+		return ReadRuntimeSample(time.Now())
+	}
+	return s
+}
+
+// StatuszSnap is the aggregate /statusz view of the ops plane.
+type StatuszSnap struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	HTTP          []RouteSnap   `json:"http"`
+	Tenants       []TenantSnap  `json:"tenants,omitempty"`
+	Queue         QueueSnap     `json:"queue"`
+	Runtime       RuntimeSample `json:"runtime"`
+}
+
+// Statusz aggregates every component into one snapshot. Nil on a nil
+// bundle (the /statusz handler then reports the plane disabled).
+func (t *Telemetry) Statusz(now time.Time) *StatuszSnap {
+	if t == nil {
+		return nil
+	}
+	return &StatuszSnap{
+		UptimeSeconds: now.Sub(t.start).Seconds(),
+		HTTP:          t.http.Routes(),
+		Tenants:       t.http.Tenants(),
+		Queue:         t.queue.Snapshot(),
+		Runtime:       t.Runtime(),
+	}
+}

@@ -1,0 +1,53 @@
+package ops
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// RuntimeSample is one self-sample of the serving process: scheduler,
+// heap, GC and file-descriptor health. OpenFDs is -1 where the platform
+// offers no /proc/self/fd (the sampler never fails over it).
+type RuntimeSample struct {
+	Wall                time.Time `json:"wall"`
+	Goroutines          int       `json:"goroutines"`
+	HeapAllocBytes      uint64    `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64    `json:"heap_sys_bytes"`
+	HeapObjects         uint64    `json:"heap_objects"`
+	NumGC               uint32    `json:"num_gc"`
+	GCPauseTotalSeconds float64   `json:"gc_pause_total_seconds"`
+	LastGCPauseSeconds  float64   `json:"last_gc_pause_seconds"`
+	OpenFDs             int       `json:"open_fds"`
+}
+
+// ReadRuntimeSample takes a sample stamped with the given wall time.
+func ReadRuntimeSample(now time.Time) RuntimeSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSample{
+		Wall:                now,
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		HeapObjects:         ms.HeapObjects,
+		NumGC:               ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+		OpenFDs:             openFDs(),
+	}
+	if ms.NumGC > 0 {
+		s.LastGCPauseSeconds = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	return s
+}
+
+// openFDs counts this process's open file descriptors via
+// /proc/self/fd, returning -1 when that view is unavailable.
+func openFDs() int {
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir call itself holds one descriptor open; don't count it.
+	return len(entries) - 1
+}

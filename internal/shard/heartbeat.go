@@ -22,10 +22,15 @@ const (
 	BeatDone  = "done"  // worker finished its task cleanly
 )
 
-// Beat is one heartbeat line.
+// Beat is one heartbeat line. Seq is a monotonic per-writer sequence
+// number starting at 1: the supervisor uses it to detect silently
+// dropped NDJSON lines (a gap in the sequence). Zero means the line
+// carries no sequence — old workers, or hand-written test beats — and
+// gap tracking skips it.
 type Beat struct {
 	Ev    string `json:"ev"`
 	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq,omitempty"`
 	Done  int    `json:"done,omitempty"`
 	Total int    `json:"total,omitempty"`
 	Key   string `json:"key,omitempty"`
@@ -48,6 +53,7 @@ type BeatWriter struct {
 	mu    sync.Mutex
 	w     io.Writer
 	shard int
+	seq   uint64
 	muted bool
 }
 
@@ -88,13 +94,17 @@ func (b *BeatWriter) emit(beat Beat) {
 		return
 	}
 	beat.Shard = b.shard
-	line, err := json.Marshal(beat)
-	if err != nil {
-		return
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.muted {
+		return
+	}
+	// The sequence is stamped under the same lock that orders the
+	// writes, so the wire order and the sequence order always agree.
+	b.seq++
+	beat.Seq = b.seq
+	line, err := json.Marshal(beat)
+	if err != nil {
 		return
 	}
 	b.w.Write(append(line, '\n'))

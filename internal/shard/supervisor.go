@@ -31,6 +31,82 @@ type Monitor interface {
 	ShardQuarantined(shard, procs int, reason string)
 }
 
+// BisectMonitor is an optional Monitor extension: implementations also
+// hear poison-cell bisection decisions. left and right are the two
+// halves' axis points; treat both as read-only.
+type BisectMonitor interface {
+	ShardBisected(shard int, left, right []int)
+}
+
+// BeatGapMonitor is an optional Monitor extension: implementations also
+// hear heartbeat sequence gaps, one call per detected gap with the
+// number of lines missed.
+type BeatGapMonitor interface {
+	ShardBeatGap(shard, missed int)
+}
+
+// monitorList fans lifecycle events out to several monitors, including
+// the optional extensions for those that implement them.
+type monitorList []Monitor
+
+func (l monitorList) ShardStarted(shard, attempt, cells int) {
+	for _, m := range l {
+		m.ShardStarted(shard, attempt, cells)
+	}
+}
+
+func (l monitorList) ShardLost(shard int, reason string) {
+	for _, m := range l {
+		m.ShardLost(shard, reason)
+	}
+}
+
+func (l monitorList) ShardFinished(shard int) {
+	for _, m := range l {
+		m.ShardFinished(shard)
+	}
+}
+
+func (l monitorList) ShardQuarantined(shard, procs int, reason string) {
+	for _, m := range l {
+		m.ShardQuarantined(shard, procs, reason)
+	}
+}
+
+func (l monitorList) ShardBisected(shard int, left, right []int) {
+	for _, m := range l {
+		if b, ok := m.(BisectMonitor); ok {
+			b.ShardBisected(shard, left, right)
+		}
+	}
+}
+
+func (l monitorList) ShardBeatGap(shard, missed int) {
+	for _, m := range l {
+		if b, ok := m.(BeatGapMonitor); ok {
+			b.ShardBeatGap(shard, missed)
+		}
+	}
+}
+
+// Monitors composes monitors into one, skipping nils. With zero or one
+// non-nil argument it returns nil or that monitor unwrapped.
+func Monitors(ms ...Monitor) Monitor {
+	var list monitorList
+	for _, m := range ms {
+		if m != nil {
+			list = append(list, m)
+		}
+	}
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return list[0]
+	}
+	return list
+}
+
 // Spec configures a supervision run.
 type Spec struct {
 	// Tasks are the initial shards, typically from Partition. They are
@@ -79,6 +155,10 @@ type Report struct {
 	Losses   int
 	// CellsSeen counts distinct cell keys workers reported checkpointed.
 	CellsSeen int
+	// BeatGaps counts heartbeat lines lost in transit, summed across all
+	// workers: the shortfall whenever a beat's sequence number jumps past
+	// the expected next value. Zero on a healthy run.
+	BeatGaps int
 	// Quarantined lists the axis points isolated by bisection and given
 	// up on, in axis order. Empty means the campaign is complete.
 	Quarantined []Quarantine
@@ -91,6 +171,7 @@ type supervisor struct {
 	mu          sync.Mutex
 	launches    int
 	losses      int
+	beatGaps    int
 	cells       map[string]bool
 	quarantined []Quarantine
 }
@@ -146,6 +227,7 @@ func Run(spec Spec) (Report, error) {
 		Launches:  s.launches,
 		Losses:    s.losses,
 		CellsSeen: len(s.cells),
+		BeatGaps:  s.beatGaps,
 	}
 	// Quarantines accumulate in completion order; report them in axis
 	// order so the outcome is stable across scheduling.
@@ -213,6 +295,9 @@ func (s *supervisor) supervise(t Task) error {
 			t.Shard, t.Procs, left.Procs, right.Procs)
 		s.slog(slog.LevelInfo, "shard bisecting",
 			"shard", t.Shard, "left", fmt.Sprint(left.Procs), "right", fmt.Sprint(right.Procs))
+		if b, ok := s.spec.Monitor.(BisectMonitor); ok {
+			b.ShardBisected(t.Shard, left.Procs, right.Procs)
+		}
 		if err := s.supervise(left); err != nil {
 			return err
 		}
@@ -281,19 +366,45 @@ func (s *supervisor) runOnce(t Task) (loss string, err error) {
 
 	// Drain the heartbeat stream until the worker closes its stdout.
 	// Reading must finish before Wait — Wait tears the pipe down.
+	// Sequence numbers make dropped lines visible: a beat arriving with
+	// seq > last+1 means the lines in between were lost in transit
+	// (unsequenced beats, seq 0, are exempt from the accounting).
 	sc := bufio.NewScanner(out)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var lastSeq uint64
+	gaps := 0
 	for sc.Scan() {
 		b, ok := ParseBeat(sc.Bytes())
 		if !ok {
 			continue
 		}
 		lastBeat.Store(time.Now().UnixNano())
+		if b.Seq > 0 {
+			if lastSeq > 0 && b.Seq > lastSeq+1 {
+				missed := int(b.Seq - lastSeq - 1)
+				gaps += missed
+				s.logf("shard %d: heartbeat gap: %d line(s) missing before seq %d",
+					t.Shard, missed, b.Seq)
+				s.slog(slog.LevelWarn, "heartbeat gap",
+					"shard", t.Shard, "missed", missed, "seq", b.Seq)
+				if g, ok := s.spec.Monitor.(BeatGapMonitor); ok {
+					g.ShardBeatGap(t.Shard, missed)
+				}
+			}
+			if b.Seq > lastSeq {
+				lastSeq = b.Seq
+			}
+		}
 		if b.Ev == BeatCell && b.Key != "" {
 			s.mu.Lock()
 			s.cells[b.Key] = true
 			s.mu.Unlock()
 		}
+	}
+	if gaps > 0 {
+		s.mu.Lock()
+		s.beatGaps += gaps
+		s.mu.Unlock()
 	}
 	waitErr := cmd.Wait()
 	close(watchdogDone)
