@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fmt-check lint check bench
+.PHONY: build vet test race fmt-check lint vet-alloc check bench
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,13 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/greenvet ./...
 
-check: build vet lint test race fmt-check
+# Allocation-budget gate: rebuilds the budgeted hot-path packages with
+# -gcflags=-m and fails when a package's heap-escape count exceeds its
+# pinned ceiling (see `greenvet -list` for the budgets).
+vet-alloc:
+	$(GO) run ./cmd/greenvet -alloc
+
+check: build vet lint vet-alloc test race fmt-check
 
 # Benchmark the hot paths (engine dispatch, trace repair, suite sweep)
 # and keep the machine-readable trajectory in BENCH_obs.json; then run
@@ -51,3 +57,7 @@ bench:
 		-benchtime 100000x -json \
 		./internal/obs/live > BENCH_live.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_live.json | sed 's/"Output":"//' || true
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadModule|BenchmarkAnalyzerSuite|BenchmarkCallGraph' \
+		-benchtime 1x -json \
+		./internal/analysis > BENCH_vet.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_vet.json | sed 's/"Output":"//' || true

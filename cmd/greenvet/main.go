@@ -8,15 +8,26 @@
 //	greenvet ./...                      # analyze the whole module
 //	greenvet ./internal/sim ./cmd/...   # analyze selected packages
 //	greenvet -list                      # print analyzers and the rule table
+//	greenvet -json ./...                # NDJSON findings, one object per line
+//	greenvet -github ./...              # GitHub Actions ::error annotations
+//	greenvet -alloc                     # run only the allocation-budget gate
 //
 // Findings print as `file:line: analyzer: message` and make the exit
-// status nonzero, so `make lint` and CI fail on drift. Justified
-// exceptions carry a `//greenvet:allow <analyzer> -- <reason>` comment
-// on or directly above the flagged line. The same suite runs inside
-// `go test ./internal/analysis`, so there is no CI-only enforcement gap.
+// status nonzero, so `make lint` and CI fail on drift. -json emits one
+// NDJSON object per finding for machine consumers (CI artifacts), and
+// -github emits workflow ::error annotations so findings land on the PR
+// diff. Justified exceptions carry a `//greenvet:allow <analyzer> --
+// <reason>` comment on or directly above the flagged line (or above the
+// statement containing it). The same suite runs inside `go test
+// ./internal/analysis`, so there is no CI-only enforcement gap.
+//
+// -alloc runs the allocation-budget gate instead of the analyzers: it
+// rebuilds the budgeted packages with -gcflags=-m and fails when a
+// package's heap-escape count exceeds its pinned ceiling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,8 +40,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzer registry and per-package rule config, then exit")
+	asJSON := flag.Bool("json", false, "emit findings as NDJSON (one object per line) on stdout")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	alloc := flag.Bool("alloc", false, "run only the allocation-budget gate (go build -gcflags=-m)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: greenvet [-list] [packages]\n\n"+
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: greenvet [-list] [-json] [-github] [-alloc] [packages]\n\n"+
 			"Packages are ./-relative patterns (default ./...). Flags:\n")
 		flag.PrintDefaults()
 	}
@@ -41,40 +55,131 @@ func main() {
 		printList(os.Stdout, cfg)
 		return
 	}
-	findings, err := run(cfg, flag.Args())
+
+	var findings []analysis.Finding
+	var root string
+	var err error
+	if *alloc {
+		findings, root, err = runAlloc()
+	} else {
+		findings, root, err = run(cfg, flag.Args())
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greenvet:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
+	emit(os.Stdout, findings, root, *asJSON, *github)
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "greenvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
 
-// run loads the enclosing module and analyzes the packages matched by
-// the ./-relative argument patterns (everything when none are given).
-func run(cfg analysis.Config, args []string) ([]analysis.Finding, error) {
+// emit prints findings in the selected format. JSON and annotation
+// modes address files relative to the module root, so the output is
+// stable across checkouts and usable from CI.
+func emit(w io.Writer, findings []analysis.Finding, root string, asJSON, github bool) {
+	for _, f := range findings {
+		switch {
+		case asJSON:
+			enc, _ := json.Marshal(jsonFinding{
+				File:     relPath(root, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+			fmt.Fprintln(w, string(enc))
+		case github:
+			fmt.Fprintln(w, githubAnnotation(root, f))
+		default:
+			fmt.Fprintln(w, f)
+		}
+	}
+}
+
+// jsonFinding is the NDJSON shape: one finding per line, fields stable
+// for downstream tooling.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// githubAnnotation renders one finding as a GitHub Actions workflow
+// command, so CI surfaces it inline on the PR diff.
+func githubAnnotation(root string, f analysis.Finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		escapeProperty(relPath(root, f.Pos.Filename)), f.Pos.Line, f.Pos.Column,
+		escapeProperty("greenvet "+f.Analyzer), escapeData(f.Message))
+}
+
+// escapeData escapes an annotation message per the workflow-command
+// rules: %, CR and LF.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty additionally escapes the property separators.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
+// relPath makes file paths module-root-relative where possible.
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// moduleRoot locates the enclosing module from the working directory.
+func moduleRoot() (string, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-	root, err := analysis.FindModuleRoot(cwd)
+	return analysis.FindModuleRoot(cwd)
+}
+
+// run loads the enclosing module and analyzes the packages matched by
+// the ./-relative argument patterns (everything when none are given).
+func run(cfg analysis.Config, args []string) ([]analysis.Finding, string, error) {
+	root, err := moduleRoot()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	mod, err := analysis.LoadModule(root)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	paths, err := resolvePatterns(mod, args)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return analysis.Run(mod, cfg, paths)
+	findings, err := analysis.Run(mod, cfg, paths)
+	return findings, root, err
+}
+
+// runAlloc runs the allocation-budget gate against the default budgets.
+func runAlloc() ([]analysis.Finding, string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, "", err
+	}
+	findings, err := analysis.RunAllocBudget(root, analysis.DefaultAllocBudgets())
+	return findings, root, err
 }
 
 // resolvePatterns maps go-tool-style package patterns (./..., ./cmd/...,
@@ -122,6 +227,10 @@ func printList(w io.Writer, cfg analysis.Config) {
 	fmt.Fprintln(w, "Analyzers:")
 	for _, a := range analysis.Registry() {
 		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(w, "\nAllocation budgets (-alloc):")
+	for _, b := range analysis.DefaultAllocBudgets() {
+		fmt.Fprintf(w, "  %-20s %d heap-escape sites\n", b.Pkg, b.Budget)
 	}
 	fmt.Fprintln(w, "\nPackage rules (first match wins):")
 	for _, r := range cfg.Packages {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"os"
 	"strings"
 	"sync"
@@ -25,12 +27,49 @@ var testMod = sync.OnceValues(func() (*analysis.Module, error) {
 // TestRunCleanTree mirrors `go run ./cmd/greenvet ./...`: the committed
 // tree must produce zero findings under the default rule table.
 func TestRunCleanTree(t *testing.T) {
-	findings, err := run(analysis.DefaultConfig(), []string{"./..."})
+	findings, root, err := run(analysis.DefaultConfig(), []string{"./..."})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if root == "" {
+		t.Error("run must report the module root for path relativization")
+	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestEmitFormats pins the two machine-readable output shapes: NDJSON
+// (one object per line, root-relative paths) and GitHub Actions
+// annotations (escaped workflow commands).
+func TestEmitFormats(t *testing.T) {
+	findings := []analysis.Finding{{
+		Pos:      token.Position{Filename: "/mod/internal/sim/engine.go", Line: 42, Column: 7},
+		Analyzer: "detclock",
+		Message:  "use of time.Now: 100% forbidden\nsecond line",
+	}}
+
+	var buf bytes.Buffer
+	emit(&buf, findings, "/mod", true, false)
+	var got jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	want := jsonFinding{File: "internal/sim/engine.go", Line: 42, Col: 7,
+		Analyzer: "detclock", Message: "use of time.Now: 100% forbidden\nsecond line"}
+	if got != want {
+		t.Errorf("json finding = %+v, want %+v", got, want)
+	}
+
+	buf.Reset()
+	emit(&buf, findings, "/mod", false, true)
+	ann := strings.TrimSpace(buf.String())
+	// Properties escape : and , on top of the data escapes (%, CR, LF);
+	// the data section keeps colons literal.
+	wantAnn := "::error file=internal/sim/engine.go,line=42,col=7,title=greenvet detclock" +
+		"::use of time.Now: 100%25 forbidden%0Asecond line"
+	if ann != wantAnn {
+		t.Errorf("annotation:\n got %s\nwant %s", ann, wantAnn)
 	}
 }
 

@@ -11,9 +11,12 @@ import (
 //
 //	//greenvet:allow <analyzer> -- <reason>
 //
-// placed on the offending line or the line immediately above it. The
-// reason is mandatory: a suppression without a recorded justification is
-// itself reported as a finding.
+// placed on the offending line, on the line immediately above it, or on
+// (or immediately above) the first line of the statement containing the
+// finding — a directive above a call whose arguments span several lines
+// covers the whole statement, not just its first line. The reason is
+// mandatory: a suppression without a recorded justification is itself
+// reported as a finding.
 const AllowPrefix = "//greenvet:allow"
 
 var allowRe = regexp.MustCompile(`^//greenvet:allow ([a-z]+) -- \S`)
@@ -25,7 +28,20 @@ type allowKey struct {
 	analyzer string
 }
 
-type allowSet map[allowKey]bool
+// allowSpan is the line extent of the statement a directive is attached
+// to; findings for the named analyzer anywhere inside it are covered.
+type allowSpan struct {
+	analyzer string
+	from, to int
+}
+
+// allowSet holds every well-formed suppression in a package: the
+// directive lines themselves (covering their own and the next line, the
+// original contract) plus the statement extents they attach to.
+type allowSet struct {
+	keys  map[allowKey]bool
+	spans map[string][]allowSpan // filename -> extents
+}
 
 // collectAllows scans every comment in the package for suppression
 // directives. Well-formed directives enter the returned set; malformed
@@ -33,8 +49,9 @@ type allowSet map[allowKey]bool
 // are appended to findings so typos fail loudly instead of silently
 // disabling a rule.
 func collectAllows(fset *token.FileSet, files []*ast.File, findings *[]Finding) allowSet {
-	set := allowSet{}
+	set := allowSet{keys: map[allowKey]bool{}, spans: map[string][]allowSpan{}}
 	for _, f := range files {
+		var extents map[int][2]int // built lazily, once per file
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
@@ -60,16 +77,75 @@ func collectAllows(fset *token.FileSet, files []*ast.File, findings *[]Finding) 
 					})
 					continue
 				}
-				set[allowKey{pos.Filename, pos.Line, name}] = true
+				set.keys[allowKey{pos.Filename, pos.Line, name}] = true
+				if extents == nil {
+					extents = stmtExtents(fset, f)
+				}
+				// A trailing directive sits on the statement's first
+				// line; a directive on its own line sits one above it.
+				for _, start := range []int{pos.Line, pos.Line + 1} {
+					if ext, ok := extents[start]; ok {
+						set.spans[pos.Filename] = append(set.spans[pos.Filename],
+							allowSpan{analyzer: name, from: ext[0], to: ext[1]})
+						break
+					}
+				}
 			}
 		}
 	}
 	return set
 }
 
+// stmtExtents maps each line on which a statement (or non-func
+// declaration) starts to the full line range of the outermost such node
+// — the extent an allow directive attached there covers.
+func stmtExtents(fset *token.FileSet, f *ast.File) map[int][2]int {
+	ext := map[int][2]int{}
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		if _, seen := ext[start]; seen {
+			return // parents precede children: first node wins, outermost extent
+		}
+		ext[start] = [2]int{start, fset.Position(n.End()).Line}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt:
+			// A `{` opens a scope, not a statement a directive should
+			// attach to — otherwise a directive above a func decl would
+			// cover the entire body.
+		case ast.Stmt:
+			record(n)
+		case *ast.GenDecl:
+			record(n)
+		}
+		return true
+	})
+	return ext
+}
+
 // suppresses reports whether the finding is covered by an allow
-// directive on its own line or the line directly above it.
+// directive: on its own line, on the line directly above it, or
+// attached to a statement whose extent contains the finding.
 func (s allowSet) suppresses(f Finding) bool {
-	return s[allowKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
-		s[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+	return s.covers(f.Pos, f.Analyzer)
+}
+
+// coversLine is the call-graph's view of the same question, used to cut
+// taint propagation at sanctioned call sites.
+func (s allowSet) coversLine(pos token.Position, analyzer string) bool {
+	return s.covers(pos, analyzer)
+}
+
+func (s allowSet) covers(pos token.Position, analyzer string) bool {
+	if s.keys[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		s.keys[allowKey{pos.Filename, pos.Line - 1, analyzer}] {
+		return true
+	}
+	for _, span := range s.spans[pos.Filename] {
+		if span.analyzer == analyzer && span.from <= pos.Line && pos.Line <= span.to {
+			return true
+		}
+	}
+	return false
 }

@@ -54,6 +54,9 @@ type Pass struct {
 	// Info carries type information. Identifiers that failed to resolve
 	// have no entry; analyzers fall back to syntax where they can.
 	Info *types.Info
+	// Mod is the enclosing module; the interprocedural analyzers reach
+	// the call graph and cross-package summaries through it.
+	Mod *Module
 	// Rules is the rule set Config matched for this package.
 	Rules Rules
 
@@ -71,9 +74,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Registry lists every analyzer in deterministic run order.
+// Registry lists every analyzer in deterministic run order: the five
+// syntax-level checks from the original suite, then the interprocedural
+// tier (clocktaint/randtaint over the call graph, goroleak over the
+// blocks-forever summaries) and the concurrency analyzers.
 func Registry() []*Analyzer {
-	return []*Analyzer{DetClock, DetRand, MapOrder, FloatEq, Layering}
+	return []*Analyzer{DetClock, DetRand, MapOrder, FloatEq, Layering,
+		ClockTaint, RandTaint, GoroLeak, Locks, NonBlock}
 }
 
 // ByName returns the registered analyzer with that name, or nil.
@@ -108,7 +115,7 @@ func Run(mod *Module, cfg Config, paths []string) ([]Finding, error) {
 		if !ok {
 			continue
 		}
-		findings = append(findings, RunPackage(mod.Fset, mod.Package(path), rules)...)
+		findings = append(findings, RunPackage(mod, mod.Package(path), rules)...)
 	}
 	sortFindings(findings)
 	return findings, nil
@@ -117,9 +124,9 @@ func Run(mod *Module, cfg Config, paths []string) ([]Finding, error) {
 // RunPackage applies one rule set to one loaded package — the unit the
 // fixture tests drive directly — returning allow-filtered findings in
 // position order. Rules.Analyzers must already be validated.
-func RunPackage(fset *token.FileSet, pkg *Package, rules Rules) []Finding {
+func RunPackage(mod *Module, pkg *Package, rules Rules) []Finding {
 	var findings []Finding
-	allows := collectAllows(fset, pkg.Files, &findings)
+	allows := collectAllows(mod.Fset, pkg.Files, &findings)
 	var raw []Finding
 	for _, name := range rules.Analyzers {
 		a := ByName(name)
@@ -128,9 +135,10 @@ func RunPackage(fset *token.FileSet, pkg *Package, rules Rules) []Finding {
 		}
 		pass := &Pass{
 			Path:     pkg.Path,
-			Fset:     fset,
+			Fset:     mod.Fset,
 			Files:    pkg.Files,
 			Info:     pkg.Info,
+			Mod:      mod,
 			Rules:    rules,
 			analyzer: a.Name,
 			findings: &raw,

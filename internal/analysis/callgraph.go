@@ -1,0 +1,447 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the interprocedural tier: a module-wide call graph over
+// the loader's go/types information, with per-function summaries
+// (reads-wall-clock, touches-global-rand, spawns-goroutine,
+// locks-held-at-exit) propagated across package boundaries. The
+// clocktaint/randtaint analyzers consume the taint maps, goroleak
+// consumes the blocks-forever map, and the locks analyzer shares the
+// lock walker that fills in locksHeldAtExit.
+//
+// Resolution is static: a call through a function value or an interface
+// method has no body to summarize and contributes no edge. That keeps
+// the graph sound for the repo's direct-call style and cheap enough to
+// rebuild inside `go test ./internal/analysis`.
+
+// edge is one static call out of a function body (function literals
+// nested in the body count as the enclosing function's calls).
+type edge struct {
+	callee *types.Func
+	pos    token.Pos
+	// spawned marks `go f(...)` — the callee runs on its own goroutine,
+	// so the caller does not block in it.
+	spawned bool
+	// cutClock/cutRand record that a `//greenvet:allow` directive for
+	// the clock/rand wall covers this call's line: the justification
+	// recorded at the source cuts taint propagation, so one sanctioned
+	// wall-clock read does not demand an allow at every transitive
+	// caller.
+	cutClock bool
+	cutRand  bool
+	// cutLeak likewise cuts goroleak blocking propagation.
+	cutLeak bool
+}
+
+// funcNode is the call-graph record for one function with a body.
+type funcNode struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	edges []edge
+
+	// Summary bits, computed over the function's own statements
+	// (nested function literals are separate functions and excluded).
+	spawnsGoroutine bool
+	// shutdownSignal: the body can learn it should stop — it receives
+	// from a channel, selects, ranges over a channel, or calls
+	// (*sync.WaitGroup).Done/Wait or context's Done.
+	shutdownSignal bool
+	// unboundedLoop: a `for` with no condition; such a loop only exits
+	// through an explicit escape, so without a shutdown signal the
+	// function runs forever.
+	unboundedLoop bool
+	loopPos       token.Pos
+	// locksHeldAtExit: the lock walker found a path that returns with a
+	// sync.Mutex/RWMutex still held.
+	locksHeldAtExit bool
+}
+
+// taintStep is one link of a witness chain: the next function on the
+// path to the intrinsic, or (when via is nil) the intrinsic itself.
+type taintStep struct {
+	via *types.Func
+	ext string // terminal label, e.g. "time.Now"; set when via is nil
+	pos token.Pos
+}
+
+// callerRef is a reverse edge used during propagation.
+type callerRef struct {
+	caller *funcNode
+	e      edge
+}
+
+// Graph is the module-wide call graph plus the propagated summaries.
+type Graph struct {
+	nodes map[*types.Func]*funcNode
+	order []*funcNode // deterministic build order for propagation
+
+	// clock/rand map every function that can reach a wall-clock read /
+	// global math/rand draw to the first step of a witness chain.
+	clock map[*types.Func]taintStep
+	rand  map[*types.Func]taintStep
+	// blocks maps functions that never return (an unbounded loop with
+	// no shutdown signal, reached through plain calls) to a witness.
+	blocks map[*types.Func]taintStep
+}
+
+// Graph returns the module's call graph, building it on first use.
+// CheckDir invalidates the cache so fixture packages registered later
+// are included.
+func (m *Module) Graph() *Graph {
+	if m.graph == nil {
+		m.graph = m.buildGraph()
+	}
+	return m.graph
+}
+
+func (m *Module) buildGraph() *Graph {
+	g := &Graph{
+		nodes:  map[*types.Func]*funcNode{},
+		clock:  map[*types.Func]taintStep{},
+		rand:   map[*types.Func]taintStep{},
+		blocks: map[*types.Func]taintStep{},
+	}
+	for _, pkg := range m.allPackages() {
+		if pkg.Info == nil {
+			continue
+		}
+		var discard []Finding
+		allows := collectAllows(m.Fset, pkg.Files, &discard)
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{fn: fn, decl: fd, pkg: pkg}
+				n.collect(m.Fset, pkg.Info, allows)
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	g.propagate()
+	return g
+}
+
+// allPackages returns every loaded package — the module tree in sorted
+// import-path order, then CheckDir'd fixture packages in registration
+// order — so graph construction is deterministic.
+func (m *Module) allPackages() []*Package {
+	var pkgs []*Package
+	for _, path := range m.PackagePaths() {
+		pkgs = append(pkgs, m.pkgs[path])
+	}
+	for _, path := range m.extraOrder {
+		pkgs = append(pkgs, m.extras[path])
+	}
+	return pkgs
+}
+
+// collect walks one function body filling in edges and summary bits.
+func (n *funcNode) collect(fset *token.FileSet, info *types.Info, allows allowSet) {
+	spawned := map[*ast.CallExpr]bool{}
+	ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.GoStmt:
+			spawned[x.Call] = true
+		case *ast.CallExpr:
+			callee := calleeOf(info, x)
+			if callee == nil {
+				return true
+			}
+			pos := fset.Position(x.Pos())
+			n.edges = append(n.edges, edge{
+				callee:   callee,
+				pos:      x.Pos(),
+				spawned:  spawned[x],
+				cutClock: allows.coversLine(pos, DetClock.Name) || allows.coversLine(pos, ClockTaint.Name),
+				cutRand:  allows.coversLine(pos, DetRand.Name) || allows.coversLine(pos, RandTaint.Name),
+				cutLeak:  allows.coversLine(pos, GoroLeak.Name),
+			})
+		}
+		return true
+	})
+	n.spawnsGoroutine = len(spawned) > 0
+	n.shutdownSignal = bodyHasShutdownSignal(info, n.decl.Body)
+	n.unboundedLoop, n.loopPos = bodyUnboundedLoop(n.decl.Body)
+	w := &lockWalker{info: info, deferred: map[string]bool{}, report: func(token.Pos, string, ...any) {}}
+	n.locksHeldAtExit = w.heldAtExit(n.decl.Body)
+}
+
+// calleeOf resolves the static callee of a call expression: a
+// package-level function, a method on a concrete receiver, or nil for
+// calls through function values, interfaces, conversions and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// wallClockFunc reports whether fn is a package-level time function that
+// reads or waits on the wall clock.
+func wallClockFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+		fn.Type().(*types.Signature).Recv() == nil && wallClockFuncs[fn.Name()]
+}
+
+// globalRandFunc reports whether fn is a package-level math/rand
+// function drawing from (or reseeding) the process-global source.
+// Methods on an explicitly constructed *rand.Rand are deterministic and
+// excluded by the receiver check.
+func globalRandFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return !randConstructors[fn.Name()]
+}
+
+// bodyHasShutdownSignal reports whether the function's own statements
+// (not nested literals) contain a way to learn the goroutine should
+// stop: a channel receive, a select, a range over a channel, or a
+// sync.WaitGroup Done/Wait (the spawner can join it).
+func bodyHasShutdownSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if isChanType(info, x.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					name, path := fn.Name(), fn.Pkg().Path()
+					if (path == "sync" && (name == "Done" || name == "Wait")) ||
+						(path == "context" && name == "Done") {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyUnboundedLoop reports a `for` with no condition and no escaping
+// exit — no return, no break leaving the loop, no goto — in the
+// function's own statements (nested literals excluded) and where it is.
+// A `for { ... if done { return } }` event loop is bounded; only a loop
+// control flow can never leave counts.
+func bodyUnboundedLoop(body *ast.BlockStmt) (bool, token.Pos) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopCanExit(x) {
+				found, pos = true, x.For
+			}
+		}
+		return true
+	})
+	return found, pos
+}
+
+// loopCanExit reports whether control can leave the loop body: a return
+// anywhere in it, an unlabeled break not captured by a nested loop,
+// switch or select, a labeled break, or a goto (assumed outward —
+// conservative toward not reporting).
+func loopCanExit(loop *ast.ForStmt) bool {
+	exits := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil || exits {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch x.Tok {
+			case token.BREAK:
+				if x.Label != nil || depth == 0 {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return c == n
+			}
+			walk(c, depth)
+			return false
+		})
+	}
+	for _, s := range loop.Body.List {
+		walk(s, 0)
+	}
+	return exits
+}
+
+func isChanType(info *types.Info, expr ast.Expr) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// propagate seeds the taint maps from intrinsic calls and walks them
+// backwards over the call graph, recording a witness chain step at each
+// hop. Worklists and caller lists are built in graph order, so chains
+// and findings are deterministic.
+func (g *Graph) propagate() {
+	callers := map[*types.Func][]callerRef{}
+	for _, n := range g.order {
+		for _, e := range n.edges {
+			if _, internal := g.nodes[e.callee]; internal {
+				callers[e.callee] = append(callers[e.callee], callerRef{caller: n, e: e})
+			}
+		}
+	}
+
+	// Wall-clock and global-rand taint: any edge suffices to carry it.
+	var clockSeeds, randSeeds []*funcNode
+	for _, n := range g.order {
+		for _, e := range n.edges {
+			if _, tainted := g.clock[n.fn]; !tainted && !e.cutClock && wallClockFunc(e.callee) {
+				g.clock[n.fn] = taintStep{ext: funcLabel(e.callee), pos: e.pos}
+				clockSeeds = append(clockSeeds, n)
+			}
+			if _, tainted := g.rand[n.fn]; !tainted && !e.cutRand && globalRandFunc(e.callee) {
+				g.rand[n.fn] = taintStep{ext: funcLabel(e.callee), pos: e.pos}
+				randSeeds = append(randSeeds, n)
+			}
+		}
+	}
+	flow := func(taint map[*types.Func]taintStep, seeds []*funcNode, cut func(callerRef) bool) {
+		queue := seeds
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, ref := range callers[n.fn] {
+				if cut(ref) {
+					continue
+				}
+				if _, done := taint[ref.caller.fn]; done {
+					continue
+				}
+				taint[ref.caller.fn] = taintStep{via: n.fn, pos: ref.e.pos}
+				queue = append(queue, ref.caller)
+			}
+		}
+	}
+	flow(g.clock, clockSeeds, func(r callerRef) bool { return r.e.cutClock })
+	flow(g.rand, randSeeds, func(r callerRef) bool { return r.e.cutRand })
+
+	// Blocks-forever: an unbounded loop with no shutdown signal, reached
+	// through plain (non-go) calls by functions that themselves have no
+	// shutdown signal of their own.
+	var blockSeeds []*funcNode
+	for _, n := range g.order {
+		if n.unboundedLoop && !n.shutdownSignal {
+			g.blocks[n.fn] = taintStep{ext: "an unbounded for loop", pos: n.loopPos}
+			blockSeeds = append(blockSeeds, n)
+		}
+	}
+	flow(g.blocks, blockSeeds, func(r callerRef) bool {
+		return r.e.spawned || r.e.cutLeak || r.caller.shutdownSignal
+	})
+}
+
+// chain renders the witness path from fn to the intrinsic, e.g.
+// "suite.run -> bench.measure -> time.Now".
+func (g *Graph) chain(taint map[*types.Func]taintStep, fn *types.Func) string {
+	var parts []string
+	for cur := fn; ; {
+		parts = append(parts, funcLabel(cur))
+		step, ok := taint[cur]
+		if !ok {
+			break
+		}
+		if step.via == nil {
+			parts = append(parts, step.ext)
+			break
+		}
+		cur = step.via
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// funcLabel renders a compact pkg.Func / pkg.Type.Method label.
+func funcLabel(fn *types.Func) string {
+	if fn == nil {
+		return "<unknown>"
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() == nil {
+		return name
+	}
+	path := fn.Pkg().Path()
+	return path[strings.LastIndex(path, "/")+1:] + "." + name
+}

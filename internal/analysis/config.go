@@ -96,11 +96,23 @@ var deterministicPkgs = []string{
 // the selfcheck test enforce.
 //
 //   - Deterministic packages (sim, suite, bench, core, mpirt, power,
-//     series) and the root package obey every analyzer and must not
-//     import internal/obs/live or net/http.
-//   - internal/obs/live, internal/shard, internal/campaign, cmd/* and
-//     examples/* legitimately touch the wall clock, so detclock is off
-//     there (as it is in _test.go files, which the loader never parses).
+//     series), everything under internal/ not classified otherwise, and
+//     the root package obey the full deterministic rule set — the
+//     syntax-level walls plus the interprocedural clocktaint/randtaint
+//     tier, so a wall-clock read can not hide behind a helper in
+//     another package — and must not import internal/obs/live or
+//     net/http.
+//   - internal/obs/live, internal/shard, internal/campaign,
+//     internal/obs/ops, cmd/* and examples/* legitimately touch the
+//     wall clock, so detclock/clocktaint are off there (as they are in
+//     _test.go files, which the loader never parses). The four
+//     concurrent-surface packages instead run goroleak: every goroutine
+//     they launch must have a reachable shutdown path.
+//   - internal/obs/live additionally runs nonblock: channel sends in
+//     the publish paths must be select+default, so the "non-blocking
+//     bus" claim is machine-checked rather than test-sampled.
+//   - locks (mutex by value, Lock without Unlock on a return path, lock
+//     held across a blocking send) runs module-wide.
 //   - internal/shard is the crash-isolation layer: it may spawn worker
 //     processes (os/exec) and watch the wall clock, but deterministic
 //     packages must not import it — nor os/exec — so everything that
@@ -116,28 +128,30 @@ var deterministicPkgs = []string{
 //     helpers, so floateq is off inside them.
 //   - No internal package may import a cmd.
 func DefaultConfig() Config {
-	all := analyzerNames()
-	noClock := []string{"detrand", "maporder", "floateq", "layering"}
-	noFloat := []string{"detclock", "detrand", "maporder", "layering"}
+	det := []string{"detclock", "clocktaint", "detrand", "randtaint", "maporder", "floateq", "layering", "locks"}
+	concurrent := []string{"detrand", "randtaint", "maporder", "floateq", "layering", "locks", "goroleak"}
+	livePlane := append(append([]string{}, concurrent...), "nonblock")
+	noFloat := []string{"detclock", "clocktaint", "detrand", "randtaint", "maporder", "layering", "locks"}
+	wallCmd := []string{"detrand", "randtaint", "maporder", "floateq", "layering", "locks"}
 	detForbid := []string{"repro/internal/obs/live", "repro/internal/obs/ops", "repro/internal/shard", "repro/internal/campaign", "os/exec", "net/http", "repro/cmd/..."}
 	internalForbid := []string{"repro/cmd/..."}
 
 	pkgs := []Rules{
-		{Match: "repro/internal/obs/live", Analyzers: noClock, ForbidImports: internalForbid},
-		{Match: "repro/internal/obs/ops", Analyzers: noClock, ForbidImports: internalForbid},
-		{Match: "repro/internal/shard", Analyzers: noClock, ForbidImports: internalForbid},
-		{Match: "repro/internal/campaign", Analyzers: noClock, ForbidImports: internalForbid},
+		{Match: "repro/internal/obs/live", Analyzers: livePlane, ForbidImports: internalForbid},
+		{Match: "repro/internal/obs/ops", Analyzers: concurrent, ForbidImports: internalForbid},
+		{Match: "repro/internal/shard", Analyzers: concurrent, ForbidImports: internalForbid},
+		{Match: "repro/internal/campaign", Analyzers: concurrent, ForbidImports: internalForbid},
 		{Match: "repro/internal/stats", Analyzers: noFloat, ForbidImports: internalForbid},
 		{Match: "repro/internal/units", Analyzers: noFloat, ForbidImports: internalForbid},
 	}
 	for _, p := range deterministicPkgs {
-		pkgs = append(pkgs, Rules{Match: p, Analyzers: all, ForbidImports: detForbid})
+		pkgs = append(pkgs, Rules{Match: p, Analyzers: det, ForbidImports: detForbid})
 	}
 	pkgs = append(pkgs,
-		Rules{Match: "repro/internal/...", Analyzers: all, ForbidImports: internalForbid},
-		Rules{Match: "repro/cmd/...", Analyzers: noClock},
-		Rules{Match: "repro/examples/...", Analyzers: noClock},
-		Rules{Match: "repro", Analyzers: all, ForbidImports: detForbid},
+		Rules{Match: "repro/internal/...", Analyzers: det, ForbidImports: internalForbid},
+		Rules{Match: "repro/cmd/...", Analyzers: wallCmd},
+		Rules{Match: "repro/examples/...", Analyzers: wallCmd},
+		Rules{Match: "repro", Analyzers: det, ForbidImports: detForbid},
 	)
 	return Config{Packages: pkgs}
 }

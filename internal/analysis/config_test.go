@@ -100,13 +100,19 @@ func TestRulesForPrecedence(t *testing.T) {
 	if !hasString(sim.Analyzers, "detclock") || !hasString(sim.ForbidImports, "repro/internal/obs/live") {
 		t.Errorf("sim rules lack the deterministic posture: %+v", sim)
 	}
+	if !hasString(sim.Analyzers, "clocktaint") || !hasString(sim.Analyzers, "randtaint") || !hasString(sim.Analyzers, "locks") {
+		t.Errorf("sim rules lack the interprocedural tier: %+v", sim)
+	}
 
 	live, ok := cfg.RulesFor("repro/internal/obs/live")
 	if !ok {
 		t.Fatal("no rules for repro/internal/obs/live")
 	}
-	if hasString(live.Analyzers, "detclock") {
-		t.Errorf("obs/live must be exempt from detclock: %+v", live)
+	if hasString(live.Analyzers, "detclock") || hasString(live.Analyzers, "clocktaint") {
+		t.Errorf("obs/live must be exempt from the wall-clock analyzers: %+v", live)
+	}
+	if !hasString(live.Analyzers, "goroleak") || !hasString(live.Analyzers, "nonblock") {
+		t.Errorf("obs/live must run the concurrency analyzers: %+v", live)
 	}
 
 	cmd, ok := cfg.RulesFor("repro/cmd/greenvet")
@@ -135,8 +141,8 @@ func TestRegistryWellFormed(t *testing.T) {
 	if ByName("nosuch") != nil {
 		t.Error("ByName of an unknown name must return nil")
 	}
-	if len(seen) != 5 {
-		t.Errorf("registry has %d analyzers, want 5", len(seen))
+	if len(seen) != 10 {
+		t.Errorf("registry has %d analyzers, want 10", len(seen))
 	}
 }
 

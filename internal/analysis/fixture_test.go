@@ -19,7 +19,16 @@ var loadMod = sync.OnceValues(func() (*analysis.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.LoadModule(root)
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	fixtures, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		return nil, err
+	}
+	mod.SetFixtureRoot(fixtures)
+	return mod, nil
 })
 
 // wantRe pulls the quoted expectation regexes out of a `// want "…"`
@@ -65,7 +74,7 @@ func runFixture(t *testing.T, name string, rules analysis.Rules) {
 	for _, terr := range pkg.TypeErrors {
 		t.Errorf("fixture must type-check cleanly: %v", terr)
 	}
-	findings := analysis.RunPackage(mod.Fset, pkg, rules)
+	findings := analysis.RunPackage(mod, pkg, rules)
 
 	wants := map[string][]string{} // "file:line" -> pending regexes
 	file := filepath.Join(dir, name+".go")
@@ -143,6 +152,41 @@ func TestShardWallFixture(t *testing.T) {
 	runFixture(t, "shardwall", rules)
 }
 
+func TestClockTaintFixture(t *testing.T) {
+	// detclock runs alongside clocktaint and must stay silent: this
+	// package never reads the clock directly, so every finding is the
+	// interprocedural tier's — the cross-package reach detclock misses.
+	runFixture(t, "clocktaint", analysis.Rules{
+		Match:     "fixture/clocktaint",
+		Analyzers: []string{"detclock", "clocktaint"},
+	})
+}
+
+func TestRandTaintFixture(t *testing.T) {
+	runFixture(t, "randtaint", analysis.Rules{
+		Match:     "fixture/randtaint",
+		Analyzers: []string{"detrand", "randtaint"},
+	})
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, "goroleak", analysis.Rules{Match: "fixture/goroleak", Analyzers: []string{"goroleak"}})
+}
+
+func TestLocksFixture(t *testing.T) {
+	runFixture(t, "locks", analysis.Rules{Match: "fixture/locks", Analyzers: []string{"locks"}})
+}
+
+func TestNonBlockFixture(t *testing.T) {
+	runFixture(t, "nonblock", analysis.Rules{Match: "fixture/nonblock", Analyzers: []string{"nonblock"}})
+}
+
+func TestAllowExtentFixture(t *testing.T) {
+	// Statement-extent suppression: a directive above (or trailing on)
+	// a multi-line statement covers its whole extent and nothing past it.
+	runFixture(t, "allowext", analysis.Rules{Match: "fixture/allowext", Analyzers: []string{"detclock"}})
+}
+
 func TestAllowFixture(t *testing.T) {
 	// Malformed/misspelled suppressions are findings even with no
 	// analyzers configured: a typo must not silently disable a rule.
@@ -201,12 +245,81 @@ func TestInjectedViolation(t *testing.T) {
 		t.Fatal("no rules for repro/internal/sim")
 	}
 	rules.Match = "fixture/probe"
-	findings := analysis.RunPackage(mod.Fset, pkg, rules)
+	findings := analysis.RunPackage(mod, pkg, rules)
 	if len(findings) != 1 {
 		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
 	}
 	f := findings[0]
 	if f.Analyzer != "detclock" || f.Pos.Line != 5 || !strings.Contains(f.Pos.Filename, "probe.go") {
 		t.Fatalf("finding not addressed to probe.go:5 detclock: %s", f)
+	}
+}
+
+// TestInjectedTaintViolation pins the interprocedural failure mode end
+// to end: a fresh package with NO direct wall-clock read, calling a
+// helper in another package that reaches time.Now two calls deep, must
+// produce exactly one clocktaint finding — and no detclock one.
+func TestInjectedTaintViolation(t *testing.T) {
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := "package probe\n\nimport \"fixture/clockhelper\"\n\nfunc lag() int64 { return clockhelper.Wrapped() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "probe.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := mod.CheckDir(dir, "fixture/taintprobe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("probe must type-check cleanly: %v", terr)
+	}
+	rules, ok := analysis.DefaultConfig().RulesFor("repro/internal/sim")
+	if !ok {
+		t.Fatal("no rules for repro/internal/sim")
+	}
+	rules.Match = "fixture/taintprobe"
+	findings := analysis.RunPackage(mod, pkg, rules)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "clocktaint" || f.Pos.Line != 5 {
+		t.Fatalf("finding not addressed to probe.go:5 clocktaint: %s", f)
+	}
+	if !strings.Contains(f.Message, "clockhelper.Wrapped -> clockhelper.Stamp -> time.Now") {
+		t.Errorf("message lacks the witness chain: %s", f.Message)
+	}
+}
+
+// TestInjectedLeakViolation does the same for goroleak under the
+// concurrent-plane rule set.
+func TestInjectedLeakViolation(t *testing.T) {
+	mod, err := loadMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := "package probe\n\nfunc leak() {\n\tgo func() {\n\t\tfor {\n\t\t\twork()\n\t\t}\n\t}()\n}\n\nfunc work() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "probe.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := mod.CheckDir(dir, "fixture/leakprobe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, ok := analysis.DefaultConfig().RulesFor("repro/internal/campaign")
+	if !ok {
+		t.Fatal("no rules for repro/internal/campaign")
+	}
+	rules.Match = "fixture/leakprobe"
+	findings := analysis.RunPackage(mod, pkg, rules)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if f := findings[0]; f.Analyzer != "goroleak" || f.Pos.Line != 4 {
+		t.Fatalf("finding not addressed to probe.go:4 goroleak: %s", f)
 	}
 }

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroLeak codifies the concurrent plane's leak-freedom claim as a
+// static wall: a goroutine launched in the supervising layers
+// (internal/campaign, internal/shard, internal/obs/live,
+// internal/obs/ops) must have a reachable shutdown path. A goroutine
+// body — the literal itself, or the resolved callee's body, including
+// functions it reaches through plain calls — that spins in an unbounded
+// `for` with no way to learn it should stop (no channel receive, no
+// select, no range over a channel, no WaitGroup Done/Wait) outlives
+// every Close and fails the server-close leak tests only when a test
+// happens to look; this makes it a lint instead.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines with an unbounded loop and no shutdown path (ctx/done receive, select, WaitGroup)",
+}
+
+// Wired in init for the same reason as ClockTaint: the graph build
+// resolves analyzer names, so Run cannot reference the registry at
+// declaration time.
+func init() { GoroLeak.Run = runGoroLeak }
+
+func runGoroLeak(p *Pass) {
+	if p.Mod == nil || p.Info == nil {
+		return
+	}
+	g := p.Mod.Graph()
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoroutine(p, g, gs)
+			return true
+		})
+	}
+}
+
+// checkGoroutine inspects one `go` statement. A literal is analyzed in
+// place; a named callee through its call-graph node. Either way, calls
+// out of the body are checked against the graph's blocks-forever map,
+// so a goroutine that parks in a helper's infinite loop three calls
+// down is still caught.
+func checkGoroutine(p *Pass, g *Graph, gs *ast.GoStmt) {
+	const fix = "give it a shutdown path (ctx/done channel receive, select, or WaitGroup) or bound the loop"
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if bodyHasShutdownSignal(p.Info, lit.Body) {
+			return
+		}
+		if looping, _ := bodyUnboundedLoop(lit.Body); looping {
+			p.Reportf(gs.Go, "goroutine loops forever with no shutdown path: %s", fix)
+			return
+		}
+		// The literal itself is loop-free: it leaks only by blocking in
+		// a callee that never returns.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, blocks := g.blocks[callee]; blocks {
+				p.Reportf(gs.Go, "goroutine never exits: %s blocks in %s: %s",
+					funcLabel(callee), g.chain(g.blocks, callee), fix)
+			}
+			return true
+		})
+		return
+	}
+	callee := calleeOf(p.Info, gs.Call)
+	if callee == nil {
+		return // function value or interface method: no body to judge
+	}
+	if _, blocks := g.blocks[callee]; blocks {
+		p.Reportf(gs.Go, "goroutine never exits: %s blocks in %s: %s",
+			funcLabel(callee), g.chain(g.blocks, callee), fix)
+	}
+}

@@ -29,6 +29,15 @@ type Module struct {
 	pkgs     map[string]*Package
 	checking map[string]bool
 	imp      *chainImporter
+
+	// extras are packages loaded through CheckDir (fixture testdata),
+	// kept in registration order so the call graph can include them
+	// deterministically. fixtureRoot, when set, lets the importer
+	// resolve `fixture/<name>` imports to sibling testdata directories.
+	extras      map[string]*Package
+	extraOrder  []string
+	fixtureRoot string
+	graph       *Graph
 }
 
 // Package is one parsed, type-checked package. Test files are excluded:
@@ -75,6 +84,7 @@ func LoadModule(root string) (*Module, error) {
 		Fset:     token.NewFileSet(),
 		pkgs:     map[string]*Package{},
 		checking: map[string]bool{},
+		extras:   map[string]*Package{},
 	}
 	m.imp = newChainImporter(m)
 	dirs, err := m.packageDirs()
@@ -286,9 +296,21 @@ func (m *Module) check(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// SetFixtureRoot points the importer at a directory of fixture
+// packages: an import of "fixture/<name>" from a CheckDir'd package
+// resolves to <root>/<name>, loaded through CheckDir on demand. Tests
+// use this so a fixture can exercise cross-package analysis.
+func (m *Module) SetFixtureRoot(root string) { m.fixtureRoot = root }
+
+// InvalidateGraph drops the cached call graph so the next Graph call
+// rebuilds it — benchmarks use it to time whole builds.
+func (m *Module) InvalidateGraph() { m.graph = nil }
+
 // CheckDir parses and type-checks a directory outside the module tree
 // (fixture testdata) under the given import path, resolving imports
-// through the module. The package is not registered with the module.
+// through the module. The package does not join the module's rule-table
+// walk, but it is registered with the call graph so interprocedural
+// analyzers see across fixture package boundaries.
 func (m *Module) CheckDir(dir, path string) (*Package, error) {
 	names, err := goFileNames(dir)
 	if err != nil {
@@ -305,6 +327,13 @@ func (m *Module) CheckDir(dir, path string) (*Package, error) {
 		}
 		pkg.Files = append(pkg.Files, f)
 	}
+	// Register before type-checking so fixture-to-fixture import cycles
+	// fail in the checker instead of recursing in the importer.
+	if _, seen := m.extras[path]; !seen {
+		m.extraOrder = append(m.extraOrder, path)
+	}
+	m.extras[path] = pkg
+	m.graph = nil // the call graph must pick up the new package
 	info := newInfo()
 	conf := types.Config{
 		Importer: m.imp,
@@ -345,6 +374,21 @@ func (ci *chainImporter) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		return pkg.Types, nil
+	}
+	if pkg, ok := ci.m.extras[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: fixture import cycle through %q", path)
+		}
+		return pkg.Types, nil
+	}
+	if ci.m.fixtureRoot != "" {
+		if rest, ok := strings.CutPrefix(path, "fixture/"); ok {
+			pkg, err := ci.m.CheckDir(filepath.Join(ci.m.fixtureRoot, rest), path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
 	}
 	if pkg, ok := ci.cache[path]; ok {
 		return pkg, nil

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Locks enforces mutex hygiene in every configured package:
+//
+//   - a sync.Mutex/RWMutex (or a struct containing one) must not cross
+//     a function signature by value — the copy locks independently of
+//     the original, which silently voids mutual exclusion;
+//   - a Lock/RLock must be released on every return path (a deferred
+//     Unlock counts for all of them);
+//   - a lock must not be held across a blocking channel send — the
+//     send parks the goroutine with the lock held, and every other
+//     locker deadlocks behind a slow receiver. Sends in a select with
+//     a default clause are non-blocking and legal.
+//
+// The walker is structural, not a full CFG: it tracks held locks
+// through blocks, if/else, loops, switch and select, merging branch
+// states conservatively (held on any surviving path counts as held).
+// break/continue/goto paths are dropped rather than modeled.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc:  "mutex copied by value, Lock without Unlock on a return path, lock held across a blocking send",
+	Run:  runLocks,
+}
+
+func runLocks(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkLockSignature(p, fn)
+				if fn.Body != nil {
+					newLockWalker(p).walkFunc(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal is its own lock scope, analyzed when the
+				// inspection reaches it.
+				newLockWalker(p).walkFunc(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkLockSignature flags receivers, parameters and results whose type
+// carries a mutex by value.
+func checkLockSignature(p *Pass, fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if name := mutexInside(tv.Type, map[types.Type]bool{}); name != "" {
+				p.Reportf(field.Type.Pos(),
+					"%s copies %s by value: the copy locks independently of the original — pass a pointer", what, name)
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	check(fn.Type.Params, "parameter")
+	check(fn.Type.Results, "result")
+}
+
+// mutexInside returns the name of the sync lock type reachable from t
+// without an indirection ("" when none): sync.Mutex / sync.RWMutex
+// itself, or a struct/array holding one by value.
+func mutexInside(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := mutexInside(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return mutexInside(u.Elem(), seen)
+	}
+	return ""
+}
+
+// lockState maps a lock key ("<owner>/w" or "<owner>/r") to the
+// position of the Lock call that acquired it.
+type lockState map[string]token.Pos
+
+// lockWalker tracks held mutexes through one function's statements.
+type lockWalker struct {
+	fset     *token.FileSet
+	info     *types.Info
+	deferred map[string]bool // keys released by a `defer …Unlock()`
+	report   func(pos token.Pos, format string, args ...any)
+	reported map[token.Pos]bool
+}
+
+func newLockWalker(p *Pass) *lockWalker {
+	w := &lockWalker{fset: p.Fset, info: p.Info, deferred: map[string]bool{}, reported: map[token.Pos]bool{}}
+	w.report = func(pos token.Pos, format string, args ...any) {
+		if w.reported[pos] {
+			return
+		}
+		w.reported[pos] = true
+		p.Reportf(pos, format, args...)
+	}
+	return w
+}
+
+// walkFunc checks one function body, reporting unreleased locks at the
+// offending Lock call.
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	held, terminated := w.stmts(body.List, lockState{})
+	if !terminated {
+		w.checkExit(held)
+	}
+}
+
+// heldAtExit is the summary variant used by the call graph: it runs the
+// same walk with reporting disabled (the report func is preset) and
+// says whether any path leaves a lock held.
+func (w *lockWalker) heldAtExit(body *ast.BlockStmt) bool {
+	leaked := false
+	inner := w.report
+	w.report = func(pos token.Pos, format string, args ...any) {
+		leaked = true
+		inner(pos, format, args...)
+	}
+	w.walkFunc(body)
+	return leaked
+}
+
+// checkExit reports every lock still held (and not covered by a
+// deferred Unlock) when control leaves the function.
+func (w *lockWalker) checkExit(held lockState) {
+	for key, pos := range held {
+		if !w.deferred[key] {
+			w.report(pos, "Lock is not released on every return path: add an Unlock before the return or defer it")
+		}
+	}
+}
+
+// stmts walks a statement list with the given incoming lock state and
+// returns the state after the list plus whether the list terminates
+// (returns or branches away) on every path through it.
+func (w *lockWalker) stmts(list []ast.Stmt, held lockState) (lockState, bool) {
+	h := cloneLocks(held)
+	for _, st := range list {
+		var term bool
+		h, term = w.stmt(st, h)
+		if term {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+func (w *lockWalker) stmt(st ast.Stmt, held lockState) (lockState, bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, method, ok := w.mutexOp(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.registerDefer(s.Call)
+	case *ast.ReturnStmt:
+		w.checkExit(held)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; the path's
+		// state is dropped rather than modeled.
+		return held, true
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		thenH, thenT := w.stmts(s.Body.List, held)
+		elseH, elseT := cloneLocks(held), false
+		if s.Else != nil {
+			elseH, elseT = w.stmt(s.Else, cloneLocks(held))
+		}
+		return mergeLocks(thenH, thenT, elseH, elseT)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		bodyH, _ := w.stmts(s.Body.List, held)
+		return unionLocks(held, bodyH), false
+	case *ast.RangeStmt:
+		bodyH, _ := w.stmts(s.Body.List, held)
+		return unionLocks(held, bodyH), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		return w.clauses(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		return w.clauses(s.Body.List, held)
+	case *ast.SelectStmt:
+		w.checkSelectSends(s, held)
+		return w.clauses(s.Body.List, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Arrow,
+				"channel send while holding a lock (held since line %d): a slow receiver parks this goroutine with the lock held — send after Unlock or use select+default",
+				w.lockLine(held))
+		}
+	case *ast.GoStmt:
+		// Spawning while locked is fine; the new goroutine starts with
+		// its own empty lock state.
+	}
+	return held, false
+}
+
+// clauses walks switch/select case bodies, each starting from the
+// incoming state, and merges the surviving branches. Without a default
+// clause the zero-case path keeps the incoming state alive.
+func (w *lockWalker) clauses(list []ast.Stmt, held lockState) (lockState, bool) {
+	after := lockState{}
+	hasDefault, anyLive := false, false
+	for _, c := range list {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			hasDefault = hasDefault || cc.List == nil
+			body = cc.Body
+		case *ast.CommClause:
+			hasDefault = hasDefault || cc.Comm == nil
+			body = cc.Body
+		default:
+			continue
+		}
+		h, term := w.stmts(body, cloneLocks(held))
+		if !term {
+			after = unionLocks(after, h)
+			anyLive = true
+		}
+	}
+	if !hasDefault {
+		after = unionLocks(after, held)
+		anyLive = true
+	}
+	return after, !anyLive
+}
+
+// checkSelectSends flags send cases of a blocking select (one with no
+// default) entered while a lock is held.
+func (w *lockWalker) checkSelectSends(sel *ast.SelectStmt, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	hasDefault := false
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if hasDefault {
+		return
+	}
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if send, ok := cc.Comm.(*ast.SendStmt); ok {
+			w.report(send.Arrow,
+				"channel send while holding a lock (held since line %d): a slow receiver parks this goroutine with the lock held — send after Unlock or use select+default",
+				w.lockLine(held))
+		}
+	}
+}
+
+// lockLine returns the smallest Lock position line in held, so the
+// message is deterministic when several locks are held.
+func (w *lockWalker) lockLine(held lockState) int {
+	min := token.Pos(0)
+	for _, pos := range held {
+		if min == 0 || pos < min {
+			min = pos
+		}
+	}
+	if w.fset == nil || min == 0 {
+		return 0
+	}
+	return w.fset.Position(min).Line
+}
+
+// registerDefer records Unlocks scheduled by a defer — directly
+// (`defer mu.Unlock()`) or inside a deferred literal.
+func (w *lockWalker) registerDefer(call *ast.CallExpr) {
+	if key, method, ok := w.mutexOp(call); ok {
+		if method == "Unlock" || method == "RUnlock" {
+			w.deferred[key] = true
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, method, ok := w.mutexOp(c); ok && (method == "Unlock" || method == "RUnlock") {
+				w.deferred[key] = true
+			}
+			return true
+		})
+	}
+}
+
+// mutexOp recognizes a call as a sync mutex operation and returns a
+// stable key for the lock owner plus the method name. The read and
+// write sides of an RWMutex pair independently.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := w.info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	owner := exprKeyInfo(w.info, sel.X)
+	if owner == "" {
+		owner = "anon"
+	}
+	kind := "/w"
+	if name == "RLock" || name == "RUnlock" {
+		kind = "/r"
+	}
+	return owner + kind, name, true
+}
+
+func cloneLocks(h lockState) lockState {
+	out := make(lockState, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// unionLocks merges two surviving paths: held on either counts as held,
+// keeping the earlier Lock position for stable messages.
+func unionLocks(a, b lockState) lockState {
+	out := cloneLocks(a)
+	for k, v := range b {
+		if cur, ok := out[k]; !ok || v < cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// mergeLocks combines an if/else pair, dropping terminated branches.
+func mergeLocks(aH lockState, aT bool, bH lockState, bT bool) (lockState, bool) {
+	switch {
+	case aT && bT:
+		return lockState{}, true
+	case aT:
+		return bH, false
+	case bT:
+		return aH, false
+	default:
+		return unionLocks(aH, bH), false
+	}
+}

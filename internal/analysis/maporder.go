@@ -241,19 +241,20 @@ func appendTarget(p *Pass, call *ast.CallExpr) string {
 	if p.Info == nil || len(call.Args) == 0 {
 		return ""
 	}
-	return exprKey(p, call.Args[0])
+	return exprKeyInfo(p.Info, call.Args[0])
 }
 
-// exprKey canonicalizes an identifier or selector chain to a key stable
-// across occurrences: the root's resolved object plus the field path.
-func exprKey(p *Pass, e ast.Expr) string {
+// exprKeyInfo canonicalizes an identifier or selector chain to a key
+// stable across occurrences: the root's resolved object plus the field
+// path. The locks analyzer shares it to identify lock owners.
+func exprKeyInfo(info *types.Info, e ast.Expr) string {
 	switch x := e.(type) {
 	case *ast.Ident:
-		if obj, ok := p.Info.Uses[x]; ok && obj != nil {
+		if obj, ok := info.Uses[x]; ok && obj != nil {
 			return fmt.Sprintf("%p", obj)
 		}
 	case *ast.SelectorExpr:
-		if base := exprKey(p, x.X); base != "" {
+		if base := exprKeyInfo(info, x.X); base != "" {
 			return base + "." + x.Sel.Name
 		}
 	}
@@ -286,7 +287,7 @@ func sortedAfter(p *Pass, fnBody *ast.BlockStmt, key string, pos token.Pos) bool
 			return true
 		}
 		for _, arg := range call.Args {
-			if exprKey(p, arg) == key {
+			if exprKeyInfo(p.Info, arg) == key {
 				found = true
 			}
 		}

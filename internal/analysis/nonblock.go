@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NonBlock machine-checks the live plane's core claim: publishing can
+// never stall the scheduler. Every channel send in a package this
+// analyzer is configured for (internal/obs/live) must be a case of a
+// `select` that has a `default` clause — the drop-instead-of-block
+// idiom the bus is built on. A bare send, or a send in a select without
+// default, blocks when the peer is slow, which is exactly the failure
+// the "non-blocking bus" guarantee rules out.
+var NonBlock = &Analyzer{
+	Name: "nonblock",
+	Doc:  "channel sends outside select+default in the non-blocking live publish paths",
+	Run:  runNonBlock,
+}
+
+func runNonBlock(p *Pass) {
+	for _, file := range p.Files {
+		nonBlocking := map[*ast.SendStmt]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, c := range sel.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					nonBlocking[send] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if !nonBlocking[send] {
+				p.Reportf(send.Arrow,
+					"blocking channel send in a non-blocking publish path: use `select { case ch <- v: default: }` so a slow subscriber drops instead of stalling")
+			}
+			return true
+		})
+	}
+}

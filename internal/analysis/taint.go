@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockTaint is the interprocedural tier of detclock: a deterministic
+// package may not *reach* a wall-clock read through any chain of static
+// calls, even when every function it calls directly looks clean. The
+// direct read itself is detclock's finding; clocktaint flags the call
+// sites whose callees are transitively tainted, with the witness chain
+// in the message. A `//greenvet:allow detclock` at the source of the
+// taint (e.g. a native benchmark's timer) sanctions the whole reach, so
+// one justified exception does not cascade allows up the call tree.
+var ClockTaint = &Analyzer{
+	Name: "clocktaint",
+	Doc:  "calls whose callees transitively reach a wall-clock read (interprocedural detclock)",
+}
+
+// RandTaint is the interprocedural tier of detrand: deterministic code
+// may not reach a global math/rand draw through any call chain.
+var RandTaint = &Analyzer{
+	Name: "randtaint",
+	Doc:  "calls whose callees transitively draw from global math/rand (interprocedural detrand)",
+}
+
+// The interprocedural runners reach the registry through the call graph
+// (allow-directive validation resolves analyzer names), so wiring them
+// at declaration would be an initialization cycle.
+func init() {
+	ClockTaint.Run = runClockTaint
+	RandTaint.Run = runRandTaint
+}
+
+func runClockTaint(p *Pass) {
+	runTaint(p, func(g *Graph) map[*types.Func]taintStep { return g.clock }, wallClockFunc,
+		"reaches the wall clock",
+		"deterministic code must take durations from the virtual clock (internal/sim)")
+}
+
+func runRandTaint(p *Pass) {
+	runTaint(p, func(g *Graph) map[*types.Func]taintStep { return g.rand }, globalRandFunc,
+		"reaches the global math/rand source",
+		"deterministic code must use internal/sim's seeded RNG")
+}
+
+// runTaint reports every call in the package whose resolved callee is in
+// the graph's taint map. Direct intrinsic calls (time.Now itself) are
+// the syntax-level analyzer's finding and skipped here, so the two
+// tiers never double-report one line.
+func runTaint(p *Pass, taintOf func(*Graph) map[*types.Func]taintStep,
+	direct func(*types.Func) bool, what, rule string) {
+	if p.Mod == nil || p.Info == nil {
+		return
+	}
+	g := p.Mod.Graph()
+	taint := taintOf(g)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil || direct(callee) {
+				return true
+			}
+			if _, tainted := taint[callee]; tainted {
+				p.Reportf(call.Pos(), "call to %s %s (%s): %s",
+					funcLabel(callee), what, g.chain(taint, callee), rule)
+			}
+			return true
+		})
+	}
+}

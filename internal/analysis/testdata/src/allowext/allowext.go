@@ -1,0 +1,44 @@
+// Fixture for suppression-extent hygiene: a directive above (or
+// trailing on the first line of) a statement covers the statement's
+// whole line extent — and nothing past it. A directive naming a
+// different analyzer covers nothing here.
+package allowext
+
+import "time"
+
+//greenvet:allow detclock -- fixture: covers the whole var block
+var (
+	stampA = time.Now().UnixNano()
+	stampB = time.Now().UnixNano()
+)
+
+func okMultiline() int64 {
+	//greenvet:allow detclock -- fixture: covers the full statement extent
+	return combine(
+		time.Now().UnixNano(),
+		time.Now().UnixNano(),
+	)
+}
+
+func okTrailing() int64 {
+	return combine( //greenvet:allow detclock -- fixture: trailing on the statement's first line
+		time.Now().UnixNano(),
+		0,
+	)
+}
+
+func badBeyondStatement() int64 {
+	//greenvet:allow detclock -- fixture: covers only the next statement
+	x := int64(1)
+	return x + time.Now().UnixNano() // want "use of time.Now"
+}
+
+func badWrongAnalyzer() int64 {
+	//greenvet:allow detrand -- fixture: names a different analyzer
+	return combine(
+		time.Now().UnixNano(), // want "use of time.Now"
+		0,
+	)
+}
+
+func combine(a, b int64) int64 { return a + b }

@@ -1,0 +1,22 @@
+// Helper package for the clocktaint fixture: the wall-clock read hides
+// behind exported functions in a DIFFERENT package, where detclock's
+// single-function view cannot see it from the caller's side.
+package clockhelper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Wrapped reaches the clock only transitively, through Stamp.
+func Wrapped() int64 { return Stamp() + 1 }
+
+// Pure never touches the clock.
+func Pure(x int) int { return 2 * x }
+
+// Sanctioned reads the clock under an allow directive: the justified
+// exception cuts the taint at its source, so callers stay clean.
+func Sanctioned() int64 {
+	//greenvet:allow detclock -- fixture: sanctioned native timer
+	return time.Now().UnixNano()
+}

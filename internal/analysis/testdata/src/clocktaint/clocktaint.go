@@ -1,0 +1,35 @@
+// Fixture for the interprocedural clocktaint analyzer. This package
+// never imports `time`, so the syntax-level detclock analyzer — also
+// running here — finds NOTHING; every expected finding below is
+// clocktaint's, which is the proof that the cross-package reach is
+// invisible to the single-function tier.
+package clocktaint
+
+import "fixture/clockhelper"
+
+func viaHelper() int64 {
+	return clockhelper.Wrapped() // want "clocktaint: call to clockhelper.Wrapped reaches the wall clock .clockhelper.Wrapped -> clockhelper.Stamp -> time.Now."
+}
+
+func viaLocal() int64 {
+	return local() // want "clocktaint: call to clocktaint.local reaches the wall clock"
+}
+
+func local() int64 {
+	return clockhelper.Stamp() // want "clocktaint: call to clockhelper.Stamp reaches the wall clock"
+}
+
+func okPure() int {
+	return clockhelper.Pure(21)
+}
+
+func okSanctioned() int64 {
+	// The helper's read carries its own allow directive; the cut stops
+	// the taint from cascading here.
+	return clockhelper.Sanctioned()
+}
+
+func okAllowedCall() int64 {
+	//greenvet:allow clocktaint -- fixture: justified transitive reach
+	return clockhelper.Wrapped()
+}

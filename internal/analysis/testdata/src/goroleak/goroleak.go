@@ -1,0 +1,97 @@
+// Fixture for the goroleak analyzer: goroutines must have a reachable
+// shutdown path. Leaks are reported at the `go` statement whether the
+// unbounded loop is in the literal itself, in a named callee, or two
+// plain calls down the graph.
+package goroleak
+
+import "sync"
+
+func badLiteral() {
+	go func() { // want "goroleak: goroutine loops forever with no shutdown path"
+		for {
+			step()
+		}
+	}()
+}
+
+func badNamed() {
+	go pump() // want "goroleak: goroutine never exits: goroleak.pump blocks in goroleak.pump -> an unbounded for loop"
+}
+
+func pump() {
+	for {
+		step()
+	}
+}
+
+func badTransitive() {
+	go func() { // want "goroleak: goroutine never exits: goroleak.wrapped blocks in goroleak.wrapped -> goroleak.spin"
+		wrapped()
+	}()
+}
+
+func wrapped() { spin() }
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+func okDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			step()
+		}
+	}()
+}
+
+func okWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			step()
+		}
+	}()
+}
+
+func okRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+func okNamedWithDone(done chan struct{}) {
+	go ticker(done)
+}
+
+func ticker(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		}
+	}
+}
+
+func okExitingLoop() {
+	go func() {
+		for {
+			if step() == 0 {
+				return
+			}
+		}
+	}()
+}
+
+func step() int { return 0 }
+
+func use(int) {}

@@ -1,0 +1,125 @@
+// Fixture for the locks analyzer: mutexes crossing signatures by value,
+// Locks not released on every return path, and locks held across
+// blocking channel sends.
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func byValueParam(mu sync.Mutex) { // want "locks: parameter copies sync.Mutex by value"
+	mu.Lock()
+	mu.Unlock()
+}
+
+func byValueStruct(c counter) int { // want "locks: parameter copies sync.Mutex by value"
+	return c.n
+}
+
+func (c counter) byValueReceiver() int { // want "locks: receiver copies sync.Mutex by value"
+	return c.n
+}
+
+func byValueResult() counter { // want "locks: result copies sync.Mutex by value"
+	return counter{}
+}
+
+func badEarlyReturn(c *counter, x int) int {
+	c.mu.Lock() // want "locks: Lock is not released on every return path"
+	if x > 0 {
+		return x
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func badFallOff(c *counter) {
+	c.mu.Lock() // want "locks: Lock is not released on every return path"
+	c.n++
+}
+
+func badRead(b *rwbox, x int) int {
+	b.mu.RLock() // want "locks: Lock is not released on every return path"
+	if x > 0 {
+		return b.v
+	}
+	b.mu.RUnlock()
+	return 0
+}
+
+func badSendWhileLocked(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want "locks: channel send while holding a lock"
+	c.mu.Unlock()
+}
+
+func badSelectSendNoDefault(c *counter, ch chan int, done chan struct{}) {
+	c.mu.Lock()
+	select {
+	case ch <- c.n: // want "locks: channel send while holding a lock"
+	case <-done:
+	}
+	c.mu.Unlock()
+}
+
+func okDefer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func okDeferredLiteral(c *counter) int {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+func okSequential(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func okBothBranches(c *counter, x int) int {
+	c.mu.Lock()
+	if x > 0 {
+		c.mu.Unlock()
+		return x
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func okReadWritePair(b *rwbox) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func okSendAfterUnlock(c *counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+func okSelectDefaultSend(c *counter, ch chan int) {
+	c.mu.Lock()
+	select {
+	case ch <- c.n:
+	default:
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Fixture for the nonblock analyzer: in a configured package every
+// channel send must be a case of a select with a default clause — the
+// drop-instead-of-block idiom of the live bus.
+package nonblock
+
+func badBareSend(ch chan int) {
+	ch <- 1 // want "nonblock: blocking channel send in a non-blocking publish path"
+}
+
+func badSelectNoDefault(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 2: // want "nonblock: blocking channel send in a non-blocking publish path"
+	case <-done:
+	}
+}
+
+func okSelectDefault(ch chan int) {
+	select {
+	case ch <- 3:
+	default:
+	}
+}
+
+func okSelectDefaultMultiCase(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 4:
+	case <-done:
+	default:
+	}
+}

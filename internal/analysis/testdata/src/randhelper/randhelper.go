@@ -1,0 +1,20 @@
+// Helper package for the randtaint fixture: the global math/rand draw
+// hides behind an exported wrapper in a different package.
+package randhelper
+
+import "math/rand"
+
+// Draw pulls from the process-global source directly.
+func Draw() float64 { return rand.Float64() }
+
+// Wrapped reaches the global source only transitively.
+func Wrapped() float64 { return Draw() / 2 }
+
+// Seeded draws from an explicit seeded generator — deterministic, so
+// callers are not tainted by it.
+func Seeded(r *rand.Rand) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.Float64()
+}

@@ -1,0 +1,18 @@
+// Fixture for the interprocedural randtaint analyzer: the package never
+// imports math/rand, detrand (also running) finds nothing, yet the
+// process-global source is reachable through the helper package.
+package randtaint
+
+import "fixture/randhelper"
+
+func viaHelper() float64 {
+	return randhelper.Wrapped() // want "randtaint: call to randhelper.Wrapped reaches the global math/rand source .randhelper.Wrapped -> randhelper.Draw -> rand.Float64."
+}
+
+func viaDirectHelper() float64 {
+	return randhelper.Draw() // want "randtaint: call to randhelper.Draw reaches the global math/rand source"
+}
+
+func okSeeded() float64 {
+	return randhelper.Seeded(nil)
+}
